@@ -1,0 +1,40 @@
+//! Criterion bench: the cross-module inliner in isolation — call-graph
+//! construction plus a full inline pass over a linked program.
+
+use cmo_bench::{compiler_for, train};
+use cmo_hlo::{inline_pass, HloSession, InlineOptions};
+use cmo_ir::link_objects;
+use cmo_naim::NaimConfig;
+use cmo_synth::{generate, spec_preset};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_inliner(c: &mut Criterion) {
+    let app = generate(&spec_preset("vortex"));
+    let cc = compiler_for(&app);
+    let db = train(&cc, &app).expect("train");
+    let objects: Vec<cmo_ir::IlObject> = app
+        .modules
+        .iter()
+        .map(|(n, s)| cmo::compile_module(n, s).unwrap())
+        .collect();
+
+    let mut group = c.benchmark_group("inliner");
+    group.sample_size(10);
+    group.bench_function("inline_pass", |b| {
+        b.iter_batched(
+            || {
+                let unit = link_objects(objects.clone()).unwrap();
+                HloSession::new(unit, NaimConfig::default(), Some(&db)).unwrap()
+            },
+            |mut session| {
+                black_box(inline_pass(&mut session, &InlineOptions::default()).unwrap())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inliner);
+criterion_main!(benches);

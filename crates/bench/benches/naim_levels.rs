@@ -1,0 +1,49 @@
+//! Criterion bench: NAIM loader overhead at each capability level
+//! (the host-time companion to `fig5_time_space`). Measures a full
+//! HLO-phase workload — read-in, analysis, inlining — under each
+//! loader configuration.
+
+use cmo::{BuildOptions, NaimConfig, NaimLevel, OptLevel};
+use cmo_bench::{compiler_for, train};
+use cmo_synth::{generate, spec_preset};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_naim_levels(c: &mut Criterion) {
+    let mut spec = spec_preset("gcc");
+    spec.modules = 12;
+    let app = generate(&spec);
+    let cc = compiler_for(&app);
+    let db = train(&cc, &app).expect("train");
+    let budget = 400 << 10;
+
+    let mut group = c.benchmark_group("naim");
+    group.sample_size(10);
+    for (name, naim) in [
+        ("off", NaimConfig::disabled()),
+        (
+            "compact_ir",
+            NaimConfig::with_budget(budget).max_level(NaimLevel::CompactIr),
+        ),
+        (
+            "compact_all",
+            NaimConfig::with_budget(budget).max_level(NaimLevel::CompactAll),
+        ),
+        (
+            "offload",
+            NaimConfig::with_budget(budget).max_level(NaimLevel::Offload),
+        ),
+    ] {
+        let opts = BuildOptions::new(OptLevel::O4)
+            .with_profile_db(db.clone())
+            .with_selectivity(100.0)
+            .with_naim(naim);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(cc.build(&opts).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_naim_levels);
+criterion_main!(benches);

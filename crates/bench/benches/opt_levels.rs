@@ -1,0 +1,64 @@
+//! Criterion bench: wall-clock build cost at each optimization level,
+//! plus execution throughput of the resulting images. Complements
+//! `fig1_speedups` (which reports simulated cycles) with host-time
+//! measurements.
+
+use cmo::{BuildOptions, OptLevel};
+use cmo_bench::{compiler_for, train};
+use cmo_synth::{generate, spec_preset};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_builds(c: &mut Criterion) {
+    let app = generate(&spec_preset("compress"));
+    let cc = compiler_for(&app);
+    let db = train(&cc, &app).expect("train");
+
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    group.bench_function("o2", |b| {
+        b.iter(|| black_box(cc.build(&BuildOptions::o2()).unwrap()))
+    });
+    group.bench_function("o2_pbo", |b| {
+        let opts = BuildOptions::o2().with_profile_db(db.clone());
+        b.iter(|| black_box(cc.build(&opts).unwrap()))
+    });
+    group.bench_function("o4", |b| {
+        let opts = BuildOptions::new(OptLevel::O4);
+        b.iter(|| black_box(cc.build(&opts).unwrap()))
+    });
+    group.bench_function("o4_pbo", |b| {
+        let opts = BuildOptions::new(OptLevel::O4)
+            .with_profile_db(db.clone())
+            .with_selectivity(100.0);
+        b.iter(|| black_box(cc.build(&opts).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let app = generate(&spec_preset("compress"));
+    let cc = compiler_for(&app);
+    let db = train(&cc, &app).expect("train");
+    let o2 = cc.build(&BuildOptions::o2()).unwrap();
+    let o4p = cc
+        .build(
+            &BuildOptions::new(OptLevel::O4)
+                .with_profile_db(db)
+                .with_selectivity(100.0),
+        )
+        .unwrap();
+
+    let mut group = c.benchmark_group("execute");
+    group.sample_size(10);
+    group.bench_function("o2_image", |b| {
+        b.iter(|| black_box(o2.run(&app.ref_input).unwrap()))
+    });
+    group.bench_function("o4_pbo_image", |b| {
+        b.iter(|| black_box(o4p.run(&app.ref_input).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds, bench_execution);
+criterion_main!(benches);

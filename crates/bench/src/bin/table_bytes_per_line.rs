@@ -1,0 +1,82 @@
+//! The §4/§8 memory-history table: bytes of optimizer memory per
+//! source line across the framework's three eras.
+//!
+//! HP-UX 9.0 kept everything expanded (~1.7 KB/line); HP-UX 10.01
+//! introduced IR compaction (~0.9 KB/line); HP-UX 10.20's full NAIM
+//! made occupancy sub-linear (a *falling* bytes-per-line figure as
+//! programs grow). We reproduce the three eras on a gcc-scale program
+//! and report our bytes/line alongside the paper's.
+//!
+//! Run with `cargo run --release -p cmo-bench --bin table_bytes_per_line`.
+
+use cmo::{BuildOptions, NaimConfig, NaimLevel, OptLevel};
+use cmo_bench::{compiler_for, measure, train, write_csv};
+use cmo_synth::{generate, spec_preset};
+
+fn main() {
+    let mut spec = spec_preset("gcc");
+    spec.modules = 20;
+    let app = generate(&spec);
+    let cc = compiler_for(&app);
+    let db = train(&cc, &app).expect("train");
+    let budget = 500 << 10;
+
+    let eras: [(&str, &str, f64, NaimConfig); 3] = [
+        (
+            "HP-UX 9.0",
+            "all expanded",
+            1700.0,
+            NaimConfig::disabled(),
+        ),
+        (
+            "HP-UX 10.01",
+            "IR compaction",
+            900.0,
+            NaimConfig::with_budget(budget).max_level(NaimLevel::CompactIr),
+        ),
+        (
+            "HP-UX 10.20",
+            "full NAIM",
+            f64::NAN, // sub-linear: no single figure in the paper
+            NaimConfig::with_budget(budget).max_level(NaimLevel::Offload),
+        ),
+    ];
+
+    println!(
+        "Memory-per-line history on a gcc-scale program ({} lines)",
+        app.total_lines
+    );
+    println!(
+        "{:<12} {:<14} {:>12} {:>11} {:>14}",
+        "era", "technique", "peak bytes", "B/line", "paper B/line"
+    );
+    let mut rows = Vec::new();
+    for (era, technique, paper, naim) in eras {
+        let opts = BuildOptions::new(OptLevel::O4)
+            .with_profile_db(db.clone())
+            .with_selectivity(100.0)
+            .with_naim(naim);
+        let m = measure(&cc, &app, &opts).expect("build");
+        let peak = m.output.report.peak_memory.peak_total;
+        let per_line = peak as f64 / app.total_lines as f64;
+        let paper_str = if paper.is_nan() {
+            "sub-linear".to_owned()
+        } else {
+            format!("{paper:.0}")
+        };
+        println!(
+            "{:<12} {:<14} {:>12} {:>11.1} {:>14}",
+            era, technique, peak, per_line, paper_str
+        );
+        rows.push(format!("{era},{technique},{peak},{per_line:.2},{paper_str}"));
+    }
+    write_csv(
+        "table_bytes_per_line.csv",
+        "era,technique,peak_bytes,bytes_per_line,paper_bytes_per_line",
+        &rows,
+    );
+    println!();
+    println!("Expect each era to need a fraction of the previous one's memory;");
+    println!("absolute B/line differs from the paper (different IR, different");
+    println!("language) — the ratios are the reproduction target.");
+}

@@ -1,0 +1,126 @@
+#![warn(missing_docs)]
+//! Shared measurement plumbing for the figure-regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure from
+//! the paper's evaluation and prints the same rows/series the paper
+//! reports, plus a CSV copy under `results/` for plotting. Absolute
+//! numbers differ from the paper (our substrate is a simulated
+//! machine, not a 180 MHz PA-8000); the *shapes* — who wins, rough
+//! factors, crossovers — are the reproduction target. See
+//! EXPERIMENTS.md for the paper-vs-measured record.
+
+use cmo::{BuildError, BuildOptions, BuildOutput, Compiler, OptLevel, ProfileDb};
+use cmo_synth::SynthApp;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One build + one reference run, with wall-clock compile time.
+#[derive(Debug)]
+pub struct Measured {
+    /// The build (image + report).
+    pub output: BuildOutput,
+    /// Simulated run cycles on the reference input.
+    pub cycles: u64,
+    /// Output checksum (for cross-configuration equality checks).
+    pub checksum: u64,
+    /// Wall-clock build time in milliseconds.
+    pub compile_ms: f64,
+}
+
+/// Loads every module of `app` into a fresh driver.
+///
+/// # Panics
+///
+/// Panics on generator-produced source that fails to compile (a bug).
+#[must_use]
+pub fn compiler_for(app: &SynthApp) -> Compiler {
+    let mut cc = Compiler::new();
+    for (name, source) in &app.modules {
+        cc.add_source(name, source)
+            .unwrap_or_else(|e| panic!("generated module {name} failed: {e}"));
+    }
+    cc
+}
+
+/// Trains a profile database on the app's training input.
+///
+/// # Errors
+///
+/// Propagates build or run failures.
+pub fn train(cc: &Compiler, app: &SynthApp) -> Result<ProfileDb, BuildError> {
+    let instrumented = cc.build(&BuildOptions::instrumented())?;
+    instrumented.run_for_profile(&app.train_input)
+}
+
+/// Builds with `options` and runs on the reference input.
+///
+/// # Errors
+///
+/// Propagates build or run failures.
+pub fn measure(
+    cc: &Compiler,
+    app: &SynthApp,
+    options: &BuildOptions,
+) -> Result<Measured, BuildError> {
+    let t0 = Instant::now();
+    let output = cc.build(options)?;
+    let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let r = output.run(&app.ref_input)?;
+    Ok(Measured {
+        output,
+        cycles: r.cycles,
+        checksum: r.checksum,
+        compile_ms,
+    })
+}
+
+/// The five standard configurations of Figure 1.
+///
+/// # Errors
+///
+/// Propagates build or run failures.
+///
+/// # Panics
+///
+/// Panics if any configuration changes the output checksum
+/// (miscompile).
+pub fn measure_standard_levels(
+    app: &SynthApp,
+    sel_percent: f64,
+) -> Result<[Measured; 5], BuildError> {
+    let cc = compiler_for(app);
+    let db = train(&cc, app)?;
+    let o1 = measure(&cc, app, &BuildOptions::new(OptLevel::O1))?;
+    let o2 = measure(&cc, app, &BuildOptions::o2())?;
+    let o2p = measure(&cc, app, &BuildOptions::o2().with_profile_db(db.clone()))?;
+    let o4 = measure(&cc, app, &BuildOptions::new(OptLevel::O4))?;
+    let o4p = measure(
+        &cc,
+        app,
+        &BuildOptions::new(OptLevel::O4)
+            .with_profile_db(db)
+            .with_selectivity(sel_percent),
+    )?;
+    for m in [&o2, &o2p, &o4, &o4p] {
+        assert_eq!(o1.checksum, m.checksum, "miscompile in {}", app.name);
+    }
+    Ok([o1, o2, o2p, o4, o4p])
+}
+
+/// Writes a CSV file under `results/`, creating the directory.
+///
+/// # Panics
+///
+/// Panics on I/O failure (benches run in a writable checkout).
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write header");
+    for row in rows {
+        writeln!(f, "{row}").expect("write row");
+    }
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,243 @@
+//! `cmocc` — the command-line face of the framework, styled after the
+//! HP-UX compiler driver the paper describes (§3, §6.1).
+//!
+//! ```text
+//! usage: cmocc [options] <file.mlc | file.cmo>...
+//!
+//!   -c                 compile sources to IL objects (.cmo) and stop
+//!   +O1 | +O2 | +O4    optimization level           (default +O2)
+//!   +P <profile.db>    use profile data (PBO)
+//!   +I                 instrument for profiling
+//!   --sel <percent>    call-site selectivity at +O4
+//!   --budget <MiB>     NAIM optimizer memory budget
+//!   --run <v1,v2,...>  execute main with the given input stream
+//!   --profile-out <f>  after --run of an instrumented build, write
+//!                      the profile database to <f>
+//!   --emit-asm         print a disassembly of the linked image
+//!   --report           print the build report
+//! ```
+//!
+//! Sources compile to IL objects; objects feed the optimizing link.
+//! Mixing `.mlc` and pre-compiled `.cmo` files on one command line is
+//! the `make` flow of §6.1.
+
+use cmo::{build_objects, BuildError, BuildOptions, NaimConfig, OptLevel, ProfileDb};
+use cmo_ir::IlObject;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Cli {
+    inputs: Vec<PathBuf>,
+    compile_only: bool,
+    level: OptLevel,
+    profile: Option<PathBuf>,
+    instrument: bool,
+    selectivity: Option<f64>,
+    budget_mib: Option<usize>,
+    run: Option<Vec<i64>>,
+    profile_out: Option<PathBuf>,
+    emit_asm: bool,
+    report: bool,
+}
+
+fn usage() -> String {
+    "usage: cmocc [-c] [+O1|+O2|+O4] [+P <db>] [+I] [--sel <pct>] [--budget <MiB>] \
+     [--run <v1,v2,..>] [--profile-out <f>] [--emit-asm] [--report] <files...>"
+        .to_owned()
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        inputs: Vec::new(),
+        compile_only: false,
+        level: OptLevel::O2,
+        profile: None,
+        instrument: false,
+        selectivity: None,
+        budget_mib: None,
+        run: None,
+        profile_out: None,
+        emit_asm: false,
+        report: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{a} expects {what}"))
+        };
+        match a.as_str() {
+            "-c" => cli.compile_only = true,
+            "+O1" => cli.level = OptLevel::O1,
+            "+O2" => cli.level = OptLevel::O2,
+            "+O4" => cli.level = OptLevel::O4,
+            "+P" => cli.profile = Some(PathBuf::from(next("a profile database path")?)),
+            "+I" => cli.instrument = true,
+            "--sel" => {
+                cli.selectivity = Some(
+                    next("a percentage")?
+                        .parse()
+                        .map_err(|e| format!("bad --sel value: {e}"))?,
+                );
+            }
+            "--budget" => {
+                cli.budget_mib = Some(
+                    next("a size in MiB")?
+                        .parse()
+                        .map_err(|e| format!("bad --budget value: {e}"))?,
+                );
+            }
+            "--run" => {
+                let spec = next("a comma-separated input list (or '-' for empty)")?;
+                let vals = if spec == "-" {
+                    Vec::new()
+                } else {
+                    spec.split(',')
+                        .map(|v| v.trim().parse::<i64>())
+                        .collect::<Result<_, _>>()
+                        .map_err(|e| format!("bad --run value: {e}"))?
+                };
+                cli.run = Some(vals);
+            }
+            "--profile-out" => cli.profile_out = Some(PathBuf::from(next("a path")?)),
+            "--emit-asm" => cli.emit_asm = true,
+            "--report" => cli.report = true,
+            "-h" | "--help" => return Err(usage()),
+            other if other.starts_with('-') || other.starts_with('+') => {
+                return Err(format!("unknown option `{other}`\n{}", usage()));
+            }
+            file => cli.inputs.push(PathBuf::from(file)),
+        }
+    }
+    if cli.inputs.is_empty() {
+        return Err(format!("no input files\n{}", usage()));
+    }
+    Ok(cli)
+}
+
+fn module_name(path: &Path) -> String {
+    path.file_stem()
+        .map_or_else(|| "module".to_owned(), |s| s.to_string_lossy().into_owned())
+}
+
+fn load_objects(cli: &Cli) -> Result<Vec<IlObject>, String> {
+    let mut objects = Vec::new();
+    for path in &cli.inputs {
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        if IlObject::is_il_object(&bytes) {
+            objects.push(
+                IlObject::from_bytes(&bytes)
+                    .map_err(|e| format!("{}: {e}", path.display()))?,
+            );
+            continue;
+        }
+        let source = String::from_utf8(bytes)
+            .map_err(|_| format!("{} is neither an IL object nor UTF-8 source", path.display()))?;
+        let obj = cmo::compile_module(&module_name(path), &source)
+            .map_err(|e| format!("{}:{e}", path.display()))?;
+        if cli.compile_only {
+            let out = path.with_extension("cmo");
+            std::fs::write(&out, obj.to_bytes())
+                .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+            println!("wrote {}", out.display());
+        }
+        objects.push(obj);
+    }
+    Ok(objects)
+}
+
+fn run_cli(cli: &Cli) -> Result<(), String> {
+    let objects = load_objects(cli)?;
+    if cli.compile_only {
+        return Ok(());
+    }
+    let mut options = BuildOptions::new(cli.level);
+    options.instrument = cli.instrument;
+    if let Some(path) = &cli.profile {
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let db = ProfileDb::from_bytes(&bytes)
+            .map_err(|e| format!("{}: corrupt profile database: {e}", path.display()))?;
+        options = options.with_profile_db(db);
+    }
+    if let Some(sel) = cli.selectivity {
+        options = options.with_selectivity(sel);
+    }
+    if let Some(mib) = cli.budget_mib {
+        options = options.with_naim(NaimConfig::with_budget(mib << 20));
+    }
+
+    let out = build_objects(objects, &options).map_err(|e| match e {
+        BuildError::Naim(inner) => format!(
+            "optimizer out of memory: {inner}\n(hint: raise --budget or lower --sel, §5)"
+        ),
+        other => other.to_string(),
+    })?;
+    println!(
+        "linked {} instructions across {} routines",
+        out.image.code_size(),
+        out.image.routines.len()
+    );
+    if cli.report {
+        let r = &out.report;
+        println!("report:");
+        println!("  modules: {}/{} compiled with CMO", r.cmo_modules, r.total_modules);
+        println!(
+            "  source lines: {}/{} under CMO",
+            r.cmo_loc, r.total_loc
+        );
+        println!(
+            "  HLO: {} inlines, {} clones, {} globals folded, {} dead stores, {} dead routines",
+            r.hlo.inlines,
+            r.hlo.clones,
+            r.hlo.globals_folded,
+            r.hlo.dead_stores_removed,
+            r.hlo.dead_routines
+        );
+        println!(
+            "  memory: peak {} bytes ({} compactions, {} offloads)",
+            r.peak_memory.peak_total, r.loader.compactions, r.loader.offload_writes
+        );
+        println!("  compile work: {} units", r.compile_work);
+    }
+    if cli.emit_asm {
+        print!("{}", cmo_vm::disassemble(&out.image));
+    }
+    if let Some(input) = &cli.run {
+        let result = out.run(input).map_err(|e| e.to_string())?;
+        println!(
+            "ran main: returned {}, {} cycles, {} instructions, checksum {:#018x}",
+            result.returned, result.cycles, result.instrs, result.checksum
+        );
+        if let Some(path) = &cli.profile_out {
+            if !out.image.is_instrumented() {
+                return Err("--profile-out needs an instrumented (+I) build".to_owned());
+            }
+            let db = cmo_vm::profile_from_run(&out.image, &result.probe_counts);
+            std::fs::write(path, db.to_bytes())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!("wrote profile database to {}", path.display());
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run_cli(&cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("cmocc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,681 @@
+//! The compilation driver: HP-UX-style option levels over the full
+//! pipeline.
+
+use cmo_frontend::FrontendError;
+use cmo_hlo::{fold_globals, inline_pass, CallGraph, GlobalFacts, HloSession, HloStats, InlineOptions};
+use cmo_ir::{link_objects, IlObject, LinkError, Program, RoutineBody, RoutineId};
+use cmo_link::{assemble, CallArc, LinkOptions};
+use cmo_llo::{lower_routine, shape_of, GlobalLayout, LloOptions, LoweredRoutine, OptEffort, OptEffortOpt};
+use cmo_naim::{LoaderStats, MemorySnapshot, NaimConfig, NaimError};
+use cmo_profile::{Freshness, ProfileDb};
+use cmo_select::{coarse_select, layered_levels, OptLayer};
+use cmo_vm::{profile_from_run, run, ExecResult, MachineImage, RunConfig};
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Optimization level, mirroring the paper's option set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// Optimize only within basic blocks (the Mcad3 baseline).
+    O1,
+    /// Full intraprocedural optimization (the default baseline, `-O`).
+    O2,
+    /// Cross-module optimization: IL objects routed through HLO.
+    O4,
+}
+
+/// A build failure.
+#[derive(Debug)]
+pub enum BuildError {
+    /// A source module failed to compile.
+    Frontend(FrontendError),
+    /// IL linking failed (undefined/duplicate symbols, interface
+    /// mismatches).
+    Link(LinkError),
+    /// The optimizer ran out of memory or the repository failed — the
+    /// paper's 1 GB-heap compile failures surface here.
+    Naim(NaimError),
+    /// The program defines no `main`.
+    NoMain,
+    /// `run_for_profile` was called on an uninstrumented image.
+    NotInstrumented,
+    /// Program execution failed.
+    Exec(cmo_vm::ExecError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Frontend(e) => write!(f, "frontend error: {e}"),
+            BuildError::Link(e) => write!(f, "link error: {e}"),
+            BuildError::Naim(e) => write!(f, "optimizer resource failure: {e}"),
+            BuildError::NoMain => f.write_str("program defines no `main` routine"),
+            BuildError::NotInstrumented => {
+                f.write_str("image carries no probes; build with instrumentation (+I)")
+            }
+            BuildError::Exec(e) => write!(f, "execution failure: {e}"),
+        }
+    }
+}
+
+impl Error for BuildError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BuildError::Frontend(e) => Some(e),
+            BuildError::Link(e) => Some(e),
+            BuildError::Naim(e) => Some(e),
+            BuildError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrontendError> for BuildError {
+    fn from(e: FrontendError) -> Self {
+        BuildError::Frontend(e)
+    }
+}
+
+impl From<LinkError> for BuildError {
+    fn from(e: LinkError) -> Self {
+        BuildError::Link(e)
+    }
+}
+
+impl From<NaimError> for BuildError {
+    fn from(e: NaimError) -> Self {
+        BuildError::Naim(e)
+    }
+}
+
+/// Options for one build.
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Optimization level.
+    pub level: OptLevel,
+    /// Use profile data (`+P`). Requires [`BuildOptions::profile`].
+    pub pbo: bool,
+    /// Insert profiling probes (`+I`).
+    pub instrument: bool,
+    /// The profile database from earlier instrumented runs.
+    pub profile: Option<ProfileDb>,
+    /// Coarse-grained selectivity: percentage of call sites to select
+    /// (§5). `None` at `+O4` optimizes every module (the expensive
+    /// non-selective mode).
+    pub selectivity: Option<f64>,
+    /// NAIM loader configuration (memory budget, thresholds, level).
+    pub naim: NaimConfig,
+    /// Inliner heuristics.
+    pub inline: InlineOptions,
+    /// Enable the §8 multi-layered strategy: cold routines drop to
+    /// `+O1` treatment.
+    pub layered: bool,
+}
+
+impl BuildOptions {
+    /// Options for `level` with everything else at defaults.
+    #[must_use]
+    pub fn new(level: OptLevel) -> Self {
+        BuildOptions {
+            level,
+            pbo: false,
+            instrument: false,
+            profile: None,
+            selectivity: None,
+            naim: NaimConfig::default(),
+            inline: InlineOptions::default(),
+            layered: false,
+        }
+    }
+
+    /// The default optimization level (`+O2`), the Figure 1 baseline.
+    #[must_use]
+    pub fn o2() -> Self {
+        BuildOptions::new(OptLevel::O2)
+    }
+
+    /// An instrumented `+O2 +I` build for profile collection.
+    #[must_use]
+    pub fn instrumented() -> Self {
+        BuildOptions {
+            instrument: true,
+            ..BuildOptions::new(OptLevel::O2)
+        }
+    }
+
+    /// Attaches a profile database and enables PBO (`+P`).
+    #[must_use]
+    pub fn with_profile_db(mut self, db: ProfileDb) -> Self {
+        self.profile = Some(db);
+        self.pbo = true;
+        self
+    }
+
+    /// Sets the coarse-grained selectivity percentage.
+    #[must_use]
+    pub fn with_selectivity(mut self, percent: f64) -> Self {
+        self.selectivity = Some(percent);
+        self
+    }
+
+    /// Sets the NAIM configuration.
+    #[must_use]
+    pub fn with_naim(mut self, naim: NaimConfig) -> Self {
+        self.naim = naim;
+        self
+    }
+
+    /// Sets the inliner options.
+    #[must_use]
+    pub fn with_inline(mut self, inline: InlineOptions) -> Self {
+        self.inline = inline;
+        self
+    }
+}
+
+/// What the build did, for diagnostics and the paper's experiments.
+#[derive(Debug, Clone, Default)]
+pub struct BuildReport {
+    /// Modules compiled with CMO.
+    pub cmo_modules: usize,
+    /// Total modules.
+    pub total_modules: usize,
+    /// Source lines in CMO modules (Figure 6 x-axis).
+    pub cmo_loc: u64,
+    /// Total source lines.
+    pub total_loc: u64,
+    /// HLO transformation counters.
+    pub hlo: HloStats,
+    /// NAIM loader counters.
+    pub loader: LoaderStats,
+    /// Peak optimizer memory (Figures 4/5).
+    pub peak_memory: MemorySnapshot,
+    /// Largest per-routine LLO working set.
+    pub llo_peak_bytes: usize,
+    /// Simulated compile effort in abstract work units: NAIM traffic
+    /// plus per-routine analysis/lowering costs. Wall-clock time tracks
+    /// this closely; benches report both.
+    pub compile_work: u64,
+    /// Final image size in instructions.
+    pub image_instrs: usize,
+}
+
+/// A finished build: the executable image plus its report.
+#[derive(Debug, Clone)]
+pub struct BuildOutput {
+    /// The linked executable.
+    pub image: MachineImage,
+    /// Build diagnostics.
+    pub report: BuildReport,
+}
+
+impl BuildOutput {
+    /// Runs the image on `input` with default limits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine faults (fuel, stack).
+    pub fn run(&self, input: &[i64]) -> Result<ExecResult, BuildError> {
+        run(&self.image, input, &RunConfig::default()).map_err(BuildError::Exec)
+    }
+
+    /// Runs an instrumented image and returns the resulting profile
+    /// database (§3: "when this specially instrumented program is run,
+    /// a profile database is generated").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::NotInstrumented`] if the image carries no
+    /// probes.
+    pub fn run_for_profile(&self, input: &[i64]) -> Result<ProfileDb, BuildError> {
+        if !self.image.is_instrumented() {
+            return Err(BuildError::NotInstrumented);
+        }
+        let result = self.run(input)?;
+        Ok(profile_from_run(&self.image, &result.probe_counts))
+    }
+}
+
+/// The compiler driver: collects modules, builds at any option level.
+#[derive(Debug, Clone, Default)]
+pub struct Compiler {
+    objects: Vec<IlObject>,
+}
+
+impl Compiler {
+    /// An empty driver.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compiles an MLC source module and adds its IL object.
+    ///
+    /// # Errors
+    ///
+    /// Returns frontend diagnostics.
+    pub fn add_source(&mut self, module: &str, source: &str) -> Result<(), BuildError> {
+        let obj = cmo_frontend::compile_module(module, source)?;
+        self.objects.push(obj);
+        Ok(())
+    }
+
+    /// Adds a pre-compiled IL object (e.g. read back from disk, the
+    /// `make` flow of §6.1).
+    pub fn add_object(&mut self, obj: IlObject) {
+        self.objects.push(obj);
+    }
+
+    /// Number of modules added.
+    #[must_use]
+    pub fn n_modules(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Builds the program at the requested options.
+    ///
+    /// # Errors
+    ///
+    /// Link errors, optimizer out-of-memory (hard NAIM limit), or a
+    /// missing `main`.
+    pub fn build(&self, options: &BuildOptions) -> Result<BuildOutput, BuildError> {
+        build_objects(self.objects.clone(), options)
+    }
+}
+
+/// Correlates stored profile block counts with a body's current shape
+/// (§6.2): fresh data is used as-is; stale data is clipped to the
+/// current block count ("benefits diminish over time").
+fn correlated_counts(db: &ProfileDb, name: &str, body: &RoutineBody) -> Option<Vec<u64>> {
+    let current = shape_of(body);
+    match db.lookup(name, current) {
+        (Freshness::Missing, _) => None,
+        (_, Some(p)) => {
+            let mut counts = p.blocks.clone();
+            counts.resize(body.blocks.len(), 0);
+            Some(counts)
+        }
+        (_, None) => None,
+    }
+}
+
+/// Aggregates per-site counts into caller→callee arcs for clustering.
+fn arcs_from(
+    program: &Program,
+    bodies: &[RoutineBody],
+    site_count: impl Fn(RoutineId, u32) -> u64,
+) -> Vec<CallArc> {
+    use std::collections::BTreeMap;
+    let mut agg: BTreeMap<(RoutineId, RoutineId), u64> = BTreeMap::new();
+    for (i, body) in bodies.iter().enumerate() {
+        let caller = RoutineId::from_index(i);
+        for block in &body.blocks {
+            for instr in &block.instrs {
+                if let cmo_ir::Instr::Call { callee, site, .. } = instr {
+                    *agg.entry((caller, callee.id())).or_insert(0) +=
+                        site_count(caller, site.0);
+                }
+            }
+        }
+    }
+    let _ = program;
+    agg.into_iter()
+        .map(|((caller, callee), weight)| CallArc {
+            caller,
+            callee,
+            weight,
+        })
+        .collect()
+}
+
+/// Builds a set of IL objects at the requested options. This is the
+/// paper's "linker encounters IL objects and sends them to the
+/// optimizer and code generator" flow.
+///
+/// # Errors
+///
+/// See [`Compiler::build`].
+pub fn build_objects(
+    objects: Vec<IlObject>,
+    options: &BuildOptions,
+) -> Result<BuildOutput, BuildError> {
+    let unit = link_objects(objects)?;
+    if unit.program.main_routine().is_none() {
+        return Err(BuildError::NoMain);
+    }
+    let mut report = BuildReport {
+        total_modules: unit.program.modules().len(),
+        total_loc: unit.program.total_source_lines(),
+        ..BuildReport::default()
+    };
+    let db = options.profile.as_ref().filter(|_| options.pbo);
+
+    // === The HLO stage (+O4 only). ===
+    let (program, bodies, symtabs, maintained_counts, dead, o4_arcs) = if options.level
+        == OptLevel::O4
+    {
+        // Coarse-grained selectivity (§5): pick CMO modules by ranked
+        // call sites. Without PBO or a percentage, everything is CMO.
+        let plan = match (db, options.selectivity) {
+            (Some(db), Some(pct)) => {
+                Some(coarse_select(&unit.program, &unit.bodies, db, pct))
+            }
+            _ => None,
+        };
+        let (targets, cmo_modules, cmo_loc): (Option<BTreeSet<RoutineId>>, usize, u64) =
+            match &plan {
+                Some(plan) => {
+                    let loc = plan
+                        .cmo_modules
+                        .iter()
+                        .map(|&m| u64::from(unit.program.module(m).source_lines))
+                        .sum();
+                    (
+                        Some(plan.hot_routines.iter().copied().collect()),
+                        plan.cmo_modules.len(),
+                        loc,
+                    )
+                }
+                None => (None, unit.program.modules().len(), report.total_loc),
+            };
+        report.cmo_modules = cmo_modules;
+        report.cmo_loc = cmo_loc;
+
+        let mut session = HloSession::new(unit, options.naim.clone(), db)?;
+        // Read-in pass: whole-program facts need every routine (§5).
+        let facts = GlobalFacts::build(&mut session)?;
+        let fold_targets: Vec<RoutineId> = match &targets {
+            Some(t) => t.iter().copied().collect(),
+            None => (0..session.n_routines()).map(RoutineId::from_index).collect(),
+        };
+        fold_globals(&mut session, &facts, &fold_targets)?;
+        session.unload_all()?;
+
+        // Inlining. Without PBO the heuristics "drive the compiler to
+        // thoroughly optimize all routines" (§5): every callee up to
+        // the hot threshold becomes inlinable everywhere.
+        let mut inline_opts = options.inline.clone();
+        inline_opts.targets = targets;
+        if db.is_none() {
+            // "Our heuristics drive the compiler to thoroughly
+            // optimize all routines" (§5): without profiles, medium
+            // callees become inlinable everywhere, at real cost in
+            // code growth, time, and memory.
+            inline_opts.small_callee_il = inline_opts.small_callee_il.max(80);
+        }
+        let inline_stats = inline_pass(&mut session, &inline_opts)?;
+        report.compile_work += inline_stats.inlines * 200 + inline_stats.considered;
+
+        // Cloning: specialize hot constant-argument callees too big to
+        // inline (§3). Profiles justify the code growth.
+        if db.is_some() {
+            let clone_opts = cmo_hlo::CloneOptions {
+                min_callee_il: inline_opts.hot_callee_il,
+                targets: inline_opts.targets.clone(),
+                ..cmo_hlo::CloneOptions::default()
+            };
+            let clone_stats = cmo_hlo::clone_pass(&mut session, &clone_opts)?;
+            report.compile_work += clone_stats.clones * 150;
+        }
+
+        // Post-inline call graph: dead-routine detection and cluster
+        // arcs. The graph's edge counts are the *maintained* site
+        // counts (scaled through inlining), not the raw database —
+        // inlining created fresh sites the database has never seen.
+        let graph = CallGraph::build(&mut session)?;
+        let main = session.program.main_routine().expect("checked above");
+        let reach = graph.reachable_from(main);
+        let dead: Vec<RoutineId> = (0..session.n_routines())
+            .map(RoutineId::from_index)
+            .filter(|r| !reach[r.index()])
+            .collect();
+        session.record_dead_routines(dead.len() as u64);
+        let maintained_arcs: Option<Vec<CallArc>> = options.pbo.then(|| {
+            use std::collections::BTreeMap;
+            let mut agg: BTreeMap<(RoutineId, RoutineId), u64> = BTreeMap::new();
+            for e in &graph.edges {
+                *agg.entry((e.caller, e.callee)).or_insert(0) += e.count;
+            }
+            agg.into_iter()
+                .map(|((caller, callee), weight)| CallArc {
+                    caller,
+                    callee,
+                    weight,
+                })
+                .collect()
+        });
+        session.unload_all()?;
+
+        report.hlo = session.stats();
+        report.loader = session.loader_stats();
+        report.peak_memory = session.memory();
+        report.compile_work += session.loader_stats().work_units;
+        let (program, bodies, symtabs, counts) = session.into_parts()?;
+        (program, bodies, symtabs, counts, dead, maintained_arcs)
+    } else {
+        report.cmo_modules = 0;
+        report.cmo_loc = 0;
+        let n = unit.bodies.len();
+        let counts = vec![None; n];
+        (
+            unit.program,
+            unit.bodies,
+            unit.symtabs,
+            counts,
+            Vec::new(),
+            None,
+        )
+    };
+
+    // === LLO + instrumentation. ===
+    let layout = GlobalLayout::new(&program);
+    let effort = match options.level {
+        OptLevel::O1 => OptEffort::O1,
+        _ => OptEffort::O2,
+    };
+    let layers = if options.layered {
+        db.map(|db| layered_levels(&program, db, 0.95))
+    } else {
+        None
+    };
+    let dead_set: BTreeSet<usize> = dead.iter().map(|r| r.index()).collect();
+    let mut lowered: Vec<LoweredRoutine> = Vec::with_capacity(bodies.len());
+    for (i, body) in bodies.iter().enumerate() {
+        let rid = RoutineId::from_index(i);
+        let name = program.name(program.routine(rid).name).to_owned();
+        if dead_set.contains(&i) {
+            // Dead routine elimination: skip all LLO work, emit a stub.
+            lowered.push(LoweredRoutine {
+                name,
+                code: vec![cmo_vm::MInstr::Ret { value: None }],
+                frame_slots: 0,
+                probes: Vec::new(),
+                shape: shape_of(body),
+                llo_work_bytes: 0,
+                il_after_opt: 0,
+            });
+            continue;
+        }
+        let block_counts = if options.pbo {
+            match &maintained_counts[i] {
+                Some(c) => Some(c.clone()),
+                None => db.and_then(|db| correlated_counts(db, &name, body)),
+            }
+        } else {
+            None
+        };
+        let routine_effort = match &layers {
+            Some(layers) if layers.get(&rid) == Some(&OptLayer::Minimal) => OptEffort::O1,
+            _ => effort,
+        };
+        let llo_opts = LloOptions {
+            effort: OptEffortOpt(routine_effort),
+            instrument: options.instrument,
+            block_counts,
+        };
+        let lr = lower_routine(rid, body, &program, &layout, &llo_opts);
+        report.llo_peak_bytes = report.llo_peak_bytes.max(lr.llo_work_bytes);
+        report.compile_work +=
+            u64::from(lr.il_after_opt) * 3 + (lr.llo_work_bytes as u64) / 256;
+        lowered.push(lr);
+    }
+
+    // === Final link: clustering + image assembly. ===
+    let arcs = match o4_arcs {
+        Some(arcs) => Some(arcs),
+        None if options.pbo => db.map(|db| {
+            arcs_from(&program, &bodies, |rid, site| {
+                let name = program.name(program.routine(rid).name);
+                db.site_count(name, site).unwrap_or(0)
+            })
+        }),
+        None => None,
+    };
+    let image = assemble(
+        &program,
+        lowered,
+        &symtabs,
+        &layout,
+        &LinkOptions { arcs, dead },
+    );
+    report.image_instrs = image.code_size();
+    Ok(BuildOutput { image, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_module_compiler() -> Compiler {
+        let mut cc = Compiler::new();
+        cc.add_source(
+            "util",
+            r#"
+            global factor: int = 3;
+            fn scale(x: int) -> int { return x * factor; }
+            fn unused_export(x: int) -> int { return x - 1; }
+            "#,
+        )
+        .unwrap();
+        cc.add_source(
+            "app",
+            r#"
+            extern fn scale(x: int) -> int;
+            fn main() -> int {
+                var i: int = 0;
+                var acc: int = 0;
+                while (i < 200) {
+                    acc = acc + scale(i);
+                    i = i + 1;
+                }
+                output(acc);
+                return acc % 1000;
+            }
+            "#,
+        )
+        .unwrap();
+        cc
+    }
+
+    #[test]
+    fn all_levels_agree_on_semantics() {
+        let cc = two_module_compiler();
+        let o1 = cc.build(&BuildOptions::new(OptLevel::O1)).unwrap();
+        let o2 = cc.build(&BuildOptions::o2()).unwrap();
+        let o4 = cc.build(&BuildOptions::new(OptLevel::O4)).unwrap();
+        let r1 = o1.run(&[]).unwrap();
+        let r2 = o2.run(&[]).unwrap();
+        let r4 = o4.run(&[]).unwrap();
+        assert_eq!(r1.checksum, r2.checksum);
+        assert_eq!(r2.checksum, r4.checksum);
+        assert!(r2.cycles <= r1.cycles);
+        assert!(r4.cycles < r2.cycles, "CMO must beat O2: {} vs {}", r4.cycles, r2.cycles);
+    }
+
+    #[test]
+    fn full_pbo_pipeline_beats_o2() {
+        let cc = two_module_compiler();
+        let train = cc.build(&BuildOptions::instrumented()).unwrap();
+        let db = train.run_for_profile(&[]).unwrap();
+        let o2 = cc.build(&BuildOptions::o2()).unwrap();
+        let best = cc
+            .build(
+                &BuildOptions::new(OptLevel::O4)
+                    .with_profile_db(db)
+                    .with_selectivity(100.0),
+            )
+            .unwrap();
+        let r2 = o2.run(&[]).unwrap();
+        let rb = best.run(&[]).unwrap();
+        assert_eq!(r2.checksum, rb.checksum);
+        assert!(rb.cycles < r2.cycles);
+        assert!(best.report.hlo.inlines > 0);
+    }
+
+    #[test]
+    fn dead_exports_are_stubbed_at_o4() {
+        let cc = two_module_compiler();
+        let o4 = cc.build(&BuildOptions::new(OptLevel::O4)).unwrap();
+        assert!(o4.report.hlo.dead_routines >= 1, "unused_export is dead");
+    }
+
+    #[test]
+    fn selectivity_reports_loc_fraction() {
+        let cc = two_module_compiler();
+        let train = cc.build(&BuildOptions::instrumented()).unwrap();
+        let db = train.run_for_profile(&[]).unwrap();
+        let half = cc
+            .build(
+                &BuildOptions::new(OptLevel::O4)
+                    .with_profile_db(db)
+                    .with_selectivity(50.0),
+            )
+            .unwrap();
+        assert!(half.report.cmo_modules >= 1);
+        assert!(half.report.cmo_loc <= half.report.total_loc);
+    }
+
+    #[test]
+    fn missing_main_is_an_error() {
+        let mut cc = Compiler::new();
+        cc.add_source("lib", "fn f() -> int { return 1; }").unwrap();
+        assert!(matches!(
+            cc.build(&BuildOptions::o2()),
+            Err(BuildError::NoMain)
+        ));
+    }
+
+    #[test]
+    fn profile_from_uninstrumented_image_is_an_error() {
+        let cc = two_module_compiler();
+        let o2 = cc.build(&BuildOptions::o2()).unwrap();
+        assert!(matches!(
+            o2.run_for_profile(&[]),
+            Err(BuildError::NotInstrumented)
+        ));
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let cc = two_module_compiler();
+        let train = cc.build(&BuildOptions::instrumented()).unwrap();
+        let db = train.run_for_profile(&[]).unwrap();
+        let opts = BuildOptions::new(OptLevel::O4)
+            .with_profile_db(db)
+            .with_selectivity(40.0);
+        let a = cc.build(&opts).unwrap();
+        let b = cc.build(&opts).unwrap();
+        assert_eq!(a.image.code, b.image.code, "same inputs, same image (§6.2)");
+    }
+
+    #[test]
+    fn hard_memory_limit_fails_unselective_cmo() {
+        let cc = two_module_compiler();
+        let tiny = NaimConfig::disabled().hard_limit(2_000);
+        let result = cc.build(
+            &BuildOptions::new(OptLevel::O4).with_naim(tiny),
+        );
+        assert!(matches!(result, Err(BuildError::Naim(_))));
+    }
+}

@@ -1,0 +1,125 @@
+//! Automatic isolation of optimizer-induced failures (§6.3).
+//!
+//! "We have implemented controllable operation limits on
+//! transformations such as inlining so we can employ binary search to
+//! identify the inline that makes the difference between a failing and
+//! a working program." The inliner numbers its operations; this driver
+//! binary-searches the operation limit against a caller-supplied
+//! oracle and reports the first faulty operation.
+
+/// The outcome of an isolation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsolationReport {
+    /// The 1-based index of the first operation whose inclusion makes
+    /// the program fail. `None` if the program never fails up to
+    /// `max_ops`.
+    pub first_faulty_op: Option<u64>,
+    /// Builds performed during the search.
+    pub builds: u64,
+}
+
+/// Binary-searches the operation limit in `[0, max_ops]`.
+///
+/// `is_good(limit)` must build the program with at most `limit`
+/// operations and report whether it behaves correctly; it must be
+/// monotone in the sense the paper relies on (once the faulty
+/// operation is included, the program stays broken). The return value
+/// names the first operation count at which the program breaks.
+pub fn isolate_faulty_op(
+    max_ops: u64,
+    mut is_good: impl FnMut(u64) -> bool,
+) -> IsolationReport {
+    let mut builds = 0u64;
+    let mut check = |limit: u64, builds: &mut u64| {
+        *builds += 1;
+        is_good(limit)
+    };
+    if check(max_ops, &mut builds) {
+        return IsolationReport {
+            first_faulty_op: None,
+            builds,
+        };
+    }
+    // Invariant: good at `lo`, bad at `hi`.
+    let (mut lo, mut hi) = (0u64, max_ops);
+    if !check(0, &mut builds) {
+        return IsolationReport {
+            first_faulty_op: Some(0),
+            builds,
+        };
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if check(mid, &mut builds) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    IsolationReport {
+        first_faulty_op: Some(hi),
+        builds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{BuildOptions, Compiler, OptLevel};
+    use cmo_hlo::InlineOptions;
+
+    #[test]
+    fn finds_planted_bad_operation() {
+        // Oracle: anything including operation 23 or beyond "fails".
+        let report = isolate_faulty_op(100, |limit| limit < 23);
+        assert_eq!(report.first_faulty_op, Some(23));
+        // Binary search, not linear: ~log2(100) + 2 builds.
+        assert!(report.builds <= 10, "took {} builds", report.builds);
+    }
+
+    #[test]
+    fn healthy_program_reports_none() {
+        let report = isolate_faulty_op(64, |_| true);
+        assert_eq!(report.first_faulty_op, None);
+        assert_eq!(report.builds, 1);
+    }
+
+    #[test]
+    fn broken_from_the_start_reports_zero() {
+        let report = isolate_faulty_op(64, |limit| limit > 1_000);
+        assert_eq!(report.first_faulty_op, Some(0));
+    }
+
+    /// End-to-end: drive real builds with an inline op limit, with a
+    /// "miscompilation" simulated by an oracle that dislikes one
+    /// specific inline operation's effect on the image.
+    #[test]
+    fn isolates_against_real_builds() {
+        let mut cc = Compiler::new();
+        cc.add_source(
+            "m",
+            r#"
+            static fn a() -> int { return 1; }
+            static fn b() -> int { return 2; }
+            static fn c() -> int { return 3; }
+            fn main() -> int { return a() + b() + c(); }
+            "#,
+        )
+        .unwrap();
+        // Count total inline ops first.
+        let full = cc.build(&BuildOptions::new(OptLevel::O4)).unwrap();
+        let total = full.report.hlo.inlines;
+        assert_eq!(total, 3);
+        // Pretend the program "fails" whenever 2 or more inlines are
+        // applied (a stand-in for a real miscompile at op 2).
+        let report = isolate_faulty_op(total, |limit| {
+            let opts = BuildOptions::new(OptLevel::O4).with_inline(InlineOptions {
+                op_limit: Some(limit),
+                ..InlineOptions::default()
+            });
+            let out = cc.build(&opts).unwrap();
+            out.report.hlo.inlines < 2
+        });
+        assert_eq!(report.first_faulty_op, Some(2));
+    }
+}

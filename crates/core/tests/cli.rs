@@ -1,0 +1,147 @@
+//! End-to-end tests of the `cmocc` command-line driver: the developer
+//! workflow of §3/§6.1 run through a real process — separate
+//! compilation to object files, an instrumented run producing a
+//! profile database on disk, and a profile-guided CMO link.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cmocc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cmocc"))
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cmocc-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const LIB: &str = "fn triple(x: int) -> int { return x * 3; }\n";
+const APP: &str = r#"
+extern fn triple(x: int) -> int;
+fn main() -> int {
+    var n: int = input();
+    var acc: int = 0;
+    var i: int = 0;
+    while (i < n) { acc = acc + triple(i); i = i + 1; }
+    output(acc);
+    return acc % 1000;
+}
+"#;
+
+#[test]
+fn full_workflow_through_the_cli() {
+    let dir = workdir("flow");
+    let lib = dir.join("lib.mlc");
+    let app = dir.join("app.mlc");
+    std::fs::write(&lib, LIB).unwrap();
+    std::fs::write(&app, APP).unwrap();
+
+    // 1. Separate compilation: -c writes .cmo object files.
+    let out = cmocc()
+        .args(["-c"])
+        .arg(&lib)
+        .arg(&app)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("lib.cmo").exists());
+    assert!(dir.join("app.cmo").exists());
+
+    // 2. Instrumented build + training run straight from the objects,
+    //    writing the profile database.
+    let db = dir.join("train.db");
+    let out = cmocc()
+        .args(["+I", "--run", "500", "--profile-out"])
+        .arg(&db)
+        .arg(dir.join("lib.cmo"))
+        .arg(dir.join("app.cmo"))
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(db.exists());
+
+    // 3. +O4 +P link with report; run and compare against +O2.
+    let run = |extra: &[&str]| -> String {
+        let mut cmd = cmocc();
+        cmd.args(extra);
+        cmd.arg(dir.join("lib.cmo")).arg(dir.join("app.cmo"));
+        let out = cmd.output().unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let o2 = run(&["+O2", "--run", "500"]);
+    let o4 = run(&[
+        "+O4",
+        "+P",
+        db.to_str().unwrap(),
+        "--run",
+        "500",
+        "--report",
+    ]);
+    let checksum = |s: &str| {
+        s.lines()
+            .find(|l| l.contains("checksum"))
+            .unwrap()
+            .split("checksum ")
+            .nth(1)
+            .unwrap()
+            .to_owned()
+    };
+    assert_eq!(checksum(&o2), checksum(&o4), "CMO changed behaviour");
+    assert!(o4.contains("inlines"), "report missing: {o4}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn emit_asm_lists_routines() {
+    let dir = workdir("asm");
+    let app = dir.join("solo.mlc");
+    std::fs::write(&app, "fn main() -> int { return 42; }\n").unwrap();
+    let out = cmocc().args(["--emit-asm"]).arg(&app).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("main:"));
+    assert!(text.contains("ret"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn diagnostics_and_exit_codes() {
+    // Unknown option.
+    let out = cmocc().args(["--bogus", "x.mlc"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // Frontend error carries the file and position.
+    let dir = workdir("err");
+    let bad = dir.join("bad.mlc");
+    std::fs::write(&bad, "fn main( { }").unwrap();
+    let out = cmocc().arg(&bad).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("bad.mlc"), "{err}");
+
+    // Missing main.
+    let lonely = dir.join("lonely.mlc");
+    std::fs::write(&lonely, "fn f() -> int { return 1; }").unwrap();
+    let out = cmocc().arg(&lonely).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn builds_under_memory_pressure() {
+    let dir = workdir("pressure");
+    let mut src = String::from("fn main() -> int {\n var acc: int = 0;\n");
+    for i in 0..300 {
+        src.push_str(&format!(" acc = acc + {i};\n"));
+    }
+    src.push_str(" return acc; }\n");
+    let f = dir.join("big.mlc");
+    std::fs::write(&f, src).unwrap();
+    let out = cmocc().args(["+O4", "--budget", "1"]).arg(&f).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,157 @@
+//! End-to-end language semantics: MLC constructs compiled at every
+//! level produce the right values on the machine.
+
+use cmo::{BuildOptions, Compiler, OptLevel};
+
+fn run_main(src: &str, input: &[i64]) -> i64 {
+    let mut cc = Compiler::new();
+    cc.add_source("m", src).unwrap();
+    let results: Vec<i64> = [
+        BuildOptions::new(OptLevel::O1),
+        BuildOptions::o2(),
+        BuildOptions::new(OptLevel::O4),
+    ]
+    .iter()
+    .map(|opts| cc.build(opts).unwrap().run(input).unwrap().returned)
+    .collect();
+    assert_eq!(results[0], results[1], "O1 vs O2 disagree");
+    assert_eq!(results[1], results[2], "O2 vs O4 disagree");
+    results[0]
+}
+
+#[test]
+fn for_loop_sums() {
+    let v = run_main(
+        r#"
+        fn main() -> int {
+            var acc: int = 0;
+            for (var i: int = 1; i <= 10; i = i + 1) { acc = acc + i; }
+            return acc;
+        }
+        "#,
+        &[],
+    );
+    assert_eq!(v, 55);
+}
+
+#[test]
+fn break_exits_early() {
+    let v = run_main(
+        r#"
+        fn main() -> int {
+            var acc: int = 0;
+            for (var i: int = 0; i < 1000; i = i + 1) {
+                if (i == 5) { break; }
+                acc = acc + i;
+            }
+            return acc;
+        }
+        "#,
+        &[],
+    );
+    assert_eq!(v, 10); // 0+1+2+3+4
+}
+
+#[test]
+fn continue_skips_and_still_steps() {
+    let v = run_main(
+        r#"
+        fn main() -> int {
+            var acc: int = 0;
+            for (var i: int = 0; i < 10; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                acc = acc + i;
+            }
+            return acc;
+        }
+        "#,
+        &[],
+    );
+    assert_eq!(v, 25); // 1+3+5+7+9
+}
+
+#[test]
+fn continue_in_while_goes_to_header() {
+    let v = run_main(
+        r#"
+        fn main() -> int {
+            var i: int = 0;
+            var acc: int = 0;
+            while (i < 10) {
+                i = i + 1;
+                if (i == 3) { continue; }
+                acc = acc + i;
+            }
+            return acc;
+        }
+        "#,
+        &[],
+    );
+    assert_eq!(v, 52); // 55 - 3
+}
+
+#[test]
+fn nested_loops_bind_innermost() {
+    let v = run_main(
+        r#"
+        fn main() -> int {
+            var acc: int = 0;
+            for (var i: int = 0; i < 4; i = i + 1) {
+                for (var j: int = 0; j < 100; j = j + 1) {
+                    if (j == 2) { break; }
+                    acc = acc + 1;
+                }
+            }
+            return acc;
+        }
+        "#,
+        &[],
+    );
+    assert_eq!(v, 8); // 4 outer × 2 inner
+}
+
+#[test]
+fn break_outside_loop_is_an_error() {
+    let mut cc = Compiler::new();
+    let err = cc
+        .add_source("m", "fn main() -> int { break; return 1; }")
+        .unwrap_err();
+    assert!(err.to_string().contains("outside of a loop"), "{err}");
+}
+
+#[test]
+fn arrays_and_floats_mix() {
+    let v = run_main(
+        r#"
+        static weights: float[4] = [0.5, 1.5, 2.5, 3.5];
+        fn main() -> int {
+            var sum: float = 0.0;
+            for (var i: int = 0; i < 4; i = i + 1) {
+                sum = sum + weights[i] * float(i);
+            }
+            return int(sum * 2.0);
+        }
+        "#,
+        &[],
+    );
+    assert_eq!(v, 34); // (0 + 1.5 + 5 + 10.5) * 2
+}
+
+#[test]
+fn input_stream_drives_control_flow() {
+    let v = run_main(
+        r#"
+        fn main() -> int {
+            var acc: int = 0;
+            for (var i: int = 0; i < 5; i = i + 1) {
+                var x: int = input();
+                if (x < 0) { break; }
+                acc = acc + x;
+            }
+            return acc;
+        }
+        "#,
+        &[7, 8, -1, 100, 100],
+    );
+    assert_eq!(v, 15);
+}

@@ -1,0 +1,306 @@
+//! The MLC lexer.
+
+use crate::{FrontendError, Pos};
+
+/// Kinds of MLC tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword (keywords are distinguished by the
+    /// parser so identifiers like `intensity` lex cleanly).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A punctuation or operator token, e.g. `"+"`, `"<="`, `"&&"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// Position of the first character.
+    pub pos: Pos,
+}
+
+/// Streaming lexer over MLC source text.
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+const PUNCTS2: [&str; 9] = ["==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->"];
+const PUNCTS1: [&str; 18] = [
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "(", ")", "{", "}", "[", "]",
+];
+const PUNCT_MISC: [&str; 4] = [";", ":", ",", "."];
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `source`.
+    #[must_use]
+    pub fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn here(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), FrontendError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'*') => {
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.src.get(self.pos + 1)) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(FrontendError::new(start, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Produces the next token.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed literals, unterminated comments,
+    /// or unknown characters.
+    pub fn next_token(&mut self) -> Result<Token, FrontendError> {
+        self.skip_trivia()?;
+        let pos = self.here();
+        let Some(b) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                pos,
+            });
+        };
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos])
+                .expect("identifier bytes are ASCII")
+                .to_owned();
+            return Ok(Token {
+                kind: TokenKind::Ident(text),
+                pos,
+            });
+        }
+        if b.is_ascii_digit() {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+            let mut is_float = false;
+            if self.peek() == Some(b'.')
+                && matches!(self.src.get(self.pos + 1), Some(c) if c.is_ascii_digit())
+            {
+                is_float = true;
+                self.bump();
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos])
+                .expect("number bytes are ASCII");
+            return if is_float {
+                text.parse::<f64>()
+                    .map(|v| Token {
+                        kind: TokenKind::Float(v),
+                        pos,
+                    })
+                    .map_err(|_| FrontendError::new(pos, format!("bad float literal `{text}`")))
+            } else {
+                text.parse::<i64>()
+                    .map(|v| Token {
+                        kind: TokenKind::Int(v),
+                        pos,
+                    })
+                    .map_err(|_| {
+                        FrontendError::new(pos, format!("integer literal `{text}` out of range"))
+                    })
+            };
+        }
+        // Two-character operators first.
+        if self.pos + 1 < self.src.len() {
+            let two = &self.src[self.pos..self.pos + 2];
+            for p in PUNCTS2 {
+                if p.as_bytes() == two {
+                    self.bump();
+                    self.bump();
+                    return Ok(Token {
+                        kind: TokenKind::Punct(p),
+                        pos,
+                    });
+                }
+            }
+        }
+        let one = &self.src[self.pos..self.pos + 1];
+        for p in PUNCTS1.iter().chain(PUNCT_MISC.iter()) {
+            if p.as_bytes() == one {
+                self.bump();
+                return Ok(Token {
+                    kind: TokenKind::Punct(p),
+                    pos,
+                });
+            }
+        }
+        Err(FrontendError::new(
+            pos,
+            format!("unexpected character `{}`", b as char),
+        ))
+    }
+
+    /// Lexes the entire input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first lexical error.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, FrontendError> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let eof = t.kind == TokenKind::Eof;
+            out.push(t);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_keywords_alike() {
+        assert_eq!(
+            kinds("fn intensity"),
+            vec![
+                TokenKind::Ident("fn".into()),
+                TokenKind::Ident("intensity".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("42 3.5"),
+            vec![TokenKind::Int(42), TokenKind::Float(3.5), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_win() {
+        assert_eq!(
+            kinds("<= < =="),
+            vec![
+                TokenKind::Punct("<="),
+                TokenKind::Punct("<"),
+                TokenKind::Punct("=="),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 // line\n/* block\n*/ 2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = Lexer::new("a\n  b").tokenize().unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(Lexer::new("/* nope").tokenize().is_err());
+    }
+
+    #[test]
+    fn unknown_character_errors() {
+        let e = Lexer::new("@").tokenize().unwrap_err();
+        assert!(e.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn huge_integer_errors() {
+        assert!(Lexer::new("99999999999999999999999").tokenize().is_err());
+    }
+}

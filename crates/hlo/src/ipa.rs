@@ -1,0 +1,379 @@
+//! Interprocedural analysis and whole-program global-variable
+//! optimization.
+//!
+//! "Information about global or module private variable usage can only
+//! be determined if all routines that can access a variable are
+//! examined, not just the performance-critical ones" (§5). HLO
+//! therefore reads in *all* code once to collect [`GlobalFacts`], even
+//! under selectivity; only the subsequent transformations are limited
+//! to selected routines.
+
+use crate::callgraph::CallGraph;
+use crate::session::HloSession;
+use cmo_ir::{Const, GlobalId, GlobalRef, Instr, MemBase, RoutineId};
+use cmo_naim::NaimError;
+
+/// Whole-program read/write facts about global variables.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalFacts {
+    /// `read[g]`: some routine loads `g`.
+    pub read: Vec<bool>,
+    /// `written[g]`: some routine stores `g`.
+    pub written: Vec<bool>,
+}
+
+fn global_of_base(base: &MemBase) -> Option<GlobalId> {
+    match base {
+        MemBase::Global(GlobalRef::Id(g)) => Some(*g),
+        _ => None,
+    }
+}
+
+impl GlobalFacts {
+    /// Scans every routine once (unloading after), recording which
+    /// globals are read and written anywhere in the program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates loader failures.
+    pub fn build(session: &mut HloSession) -> Result<Self, NaimError> {
+        let n_globals = session.program.globals().len();
+        let mut facts = GlobalFacts {
+            read: vec![false; n_globals],
+            written: vec![false; n_globals],
+        };
+        for i in 0..session.n_routines() {
+            let rid = RoutineId::from_index(i);
+            let body = session.body(rid)?;
+            for block in &body.blocks {
+                for instr in &block.instrs {
+                    match instr {
+                        Instr::LoadGlobal { global, .. } => {
+                            facts.read[global.id().index()] = true;
+                        }
+                        Instr::StoreGlobal { global, .. } => {
+                            facts.written[global.id().index()] = true;
+                        }
+                        Instr::LoadElem { base, .. } => {
+                            if let Some(g) = global_of_base(base) {
+                                facts.read[g.index()] = true;
+                            }
+                        }
+                        Instr::StoreElem { base, .. } => {
+                            if let Some(g) = global_of_base(base) {
+                                facts.written[g.index()] = true;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            session.unload(rid)?;
+        }
+        session.account_derived((n_globals * 2) as isize);
+        Ok(facts)
+    }
+}
+
+/// Interprocedural constant propagation of globals plus dead-store
+/// elimination:
+///
+/// * a scalar global never written anywhere keeps its initial value
+///   forever, so every load of it folds to that constant;
+/// * a global never read anywhere is dead, so every store to it is
+///   removed (the stored value's computation becomes dead code that
+///   LLO's DCE cleans up).
+///
+/// Only the routines in `targets` are transformed (fine-grained
+/// selectivity); the facts themselves came from all routines.
+///
+/// # Errors
+///
+/// Propagates loader failures.
+pub fn fold_globals(
+    session: &mut HloSession,
+    facts: &GlobalFacts,
+    targets: &[RoutineId],
+) -> Result<(), NaimError> {
+    // Initial values of fold-eligible scalar globals.
+    let n_globals = session.program.globals().len();
+    let mut init_const: Vec<Option<Const>> = vec![None; n_globals];
+    #[allow(clippy::needless_range_loop)]
+    for g in 0..n_globals {
+        let meta = session.program.global(GlobalId::from_index(g));
+        if facts.written[g] || meta.ty.is_array() {
+            continue;
+        }
+        let (module, slot, scalar) = (meta.module, meta.slot as usize, meta.ty.scalar);
+        let init = session.symtab(module)?.globals[slot].init.clone();
+        init_const[g] = Some(match init {
+            cmo_ir::GlobalInit::Zero => match scalar {
+                cmo_ir::Ty::I64 => Const::I(0),
+                cmo_ir::Ty::F64 => Const::F(0.0),
+            },
+            cmo_ir::GlobalInit::Scalar(c) => c,
+            // Array initializers cannot appear on scalars.
+            _ => continue,
+        });
+    }
+
+    let mut folded = 0u64;
+    let mut removed = 0u64;
+    for &rid in targets {
+        let body = session.body_mut(rid)?;
+        for block in &mut body.blocks {
+            for instr in &mut block.instrs {
+                if let Instr::LoadGlobal { dst, global } = instr {
+                    if let Some(c) = init_const[global.id().index()] {
+                        *instr = Instr::Const {
+                            dst: *dst,
+                            value: c,
+                        };
+                        folded += 1;
+                    }
+                }
+            }
+            let before = block.instrs.len();
+            block.instrs.retain(|i| match i {
+                Instr::StoreGlobal { global, .. } => facts.read[global.id().index()],
+                Instr::StoreElem { base, .. } => match global_of_base(base) {
+                    Some(g) => facts.read[g.index()],
+                    None => true,
+                },
+                _ => true,
+            });
+            removed += (before - block.instrs.len()) as u64;
+        }
+        session.unload(rid)?;
+    }
+    session.stats.globals_folded += folded;
+    session.stats.dead_stores_removed += removed;
+    Ok(())
+}
+
+/// Transitive mod/ref summaries: which globals each routine may read
+/// or write, directly or through calls. Bit-matrix representation,
+/// fixed-point over the call graph.
+#[derive(Debug, Clone)]
+pub struct ModRef {
+    n_globals: usize,
+    words: usize,
+    reads: Vec<u64>,
+    writes: Vec<u64>,
+}
+
+impl ModRef {
+    /// Builds summaries for every routine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates loader failures.
+    pub fn build(session: &mut HloSession, graph: &CallGraph) -> Result<Self, NaimError> {
+        let n_globals = session.program.globals().len();
+        let n = session.n_routines();
+        let words = n_globals.div_ceil(64).max(1);
+        let mut mr = ModRef {
+            n_globals,
+            words,
+            reads: vec![0; n * words],
+            writes: vec![0; n * words],
+        };
+        // Direct facts.
+        for i in 0..n {
+            let rid = RoutineId::from_index(i);
+            let body = session.body(rid)?;
+            for block in &body.blocks {
+                for instr in &block.instrs {
+                    match instr {
+                        Instr::LoadGlobal { global, .. } => mr.set_read(rid, global.id()),
+                        Instr::StoreGlobal { global, .. } => mr.set_write(rid, global.id()),
+                        Instr::LoadElem { base, .. } => {
+                            if let Some(g) = global_of_base(base) {
+                                mr.set_read(rid, g);
+                            }
+                        }
+                        Instr::StoreElem { base, .. } => {
+                            if let Some(g) = global_of_base(base) {
+                                mr.set_write(rid, g);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            session.unload(rid)?;
+        }
+        // Transitive closure over calls.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for e in &graph.edges {
+                let (cr, cw) = (e.caller.index(), e.callee.index());
+                for w in 0..words {
+                    let add_r = mr.reads[cw * words + w] & !mr.reads[cr * words + w];
+                    let add_w = mr.writes[cw * words + w] & !mr.writes[cr * words + w];
+                    if add_r != 0 {
+                        mr.reads[cr * words + w] |= add_r;
+                        changed = true;
+                    }
+                    if add_w != 0 {
+                        mr.writes[cr * words + w] |= add_w;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        session.account_derived((mr.reads.len() * 16) as isize);
+        Ok(mr)
+    }
+
+    fn set_read(&mut self, r: RoutineId, g: GlobalId) {
+        self.reads[r.index() * self.words + g.index() / 64] |= 1 << (g.index() % 64);
+    }
+
+    fn set_write(&mut self, r: RoutineId, g: GlobalId) {
+        self.writes[r.index() * self.words + g.index() / 64] |= 1 << (g.index() % 64);
+    }
+
+    /// May `r` (transitively) read `g`?
+    #[must_use]
+    pub fn reads(&self, r: RoutineId, g: GlobalId) -> bool {
+        debug_assert!(g.index() < self.n_globals);
+        self.reads[r.index() * self.words + g.index() / 64] & (1 << (g.index() % 64)) != 0
+    }
+
+    /// May `r` (transitively) write `g`?
+    #[must_use]
+    pub fn writes(&self, r: RoutineId, g: GlobalId) -> bool {
+        debug_assert!(g.index() < self.n_globals);
+        self.writes[r.index() * self.words + g.index() / 64] & (1 << (g.index() % 64)) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmo_frontend::compile_module;
+    use cmo_ir::link_objects;
+    use cmo_naim::NaimConfig;
+
+    fn session(srcs: &[(&str, &str)]) -> HloSession {
+        let objs = srcs
+            .iter()
+            .map(|(name, src)| compile_module(name, src).unwrap())
+            .collect();
+        let unit = link_objects(objs).unwrap();
+        HloSession::new(unit, NaimConfig::default(), None).unwrap()
+    }
+
+    const GLOBALS_SRC: &str = r#"
+        global ro_config: int = 7;
+        global write_only_log: int = 0;
+        global counter: int = 0;
+
+        fn main() -> int {
+            write_only_log = input();
+            counter = counter + ro_config;
+            return counter;
+        }
+    "#;
+
+    #[test]
+    fn facts_distinguish_read_write() {
+        let mut s = session(&[("m", GLOBALS_SRC)]);
+        let facts = GlobalFacts::build(&mut s).unwrap();
+        let find = |name: &str| {
+            s.program
+                .globals()
+                .iter()
+                .position(|g| s.program.name(g.name) == name)
+                .unwrap()
+        };
+        let ro = find("ro_config");
+        let wo = find("write_only_log");
+        let rw = find("counter");
+        assert!(facts.read[ro] && !facts.written[ro]);
+        assert!(!facts.read[wo] && facts.written[wo]);
+        assert!(facts.read[rw] && facts.written[rw]);
+    }
+
+    #[test]
+    fn never_written_global_folds_and_dead_store_goes() {
+        let mut s = session(&[("m", GLOBALS_SRC)]);
+        let facts = GlobalFacts::build(&mut s).unwrap();
+        let main = s.program.find_routine("main").unwrap();
+        fold_globals(&mut s, &facts, &[main]).unwrap();
+        assert_eq!(s.stats().globals_folded, 1);
+        assert_eq!(s.stats().dead_stores_removed, 1);
+        let body = s.body(main).unwrap();
+        // ro_config load folded to const 7; write_only_log store gone.
+        let has_const7 = body
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i, Instr::Const { value: Const::I(7), .. }));
+        assert!(has_const7);
+        let stores: usize = body
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i, Instr::StoreGlobal { .. }))
+            .count();
+        assert_eq!(stores, 1, "only the counter store remains");
+    }
+
+    #[test]
+    fn modref_is_transitive() {
+        let mut s = session(&[
+            (
+                "a",
+                "extern fn touch();\nglobal g: int = 0;\nfn main() -> int { touch(); return 0; }",
+            ),
+            (
+                "b",
+                "extern global g: int;\nfn touch() { g = g + 1; }",
+            ),
+        ]);
+        let cg = CallGraph::build(&mut s).unwrap();
+        let mr = ModRef::build(&mut s, &cg).unwrap();
+        let main = s.program.find_routine("main").unwrap();
+        let touch = s.program.find_routine("touch").unwrap();
+        let g = GlobalId::from_index(0);
+        assert!(mr.writes(touch, g));
+        assert!(mr.reads(touch, g));
+        assert!(mr.writes(main, g), "main writes g through touch");
+    }
+
+    #[test]
+    fn selective_targets_leave_others_untouched() {
+        let mut s = session(&[(
+            "m",
+            r#"
+            global ro: int = 3;
+            fn hot() -> int { return ro; }
+            fn cold() -> int { return ro; }
+            fn main() -> int { return hot() + cold(); }
+            "#,
+        )]);
+        let facts = GlobalFacts::build(&mut s).unwrap();
+        let hot = s.program.find_routine("hot").unwrap();
+        let cold = s.program.find_routine("cold").unwrap();
+        fold_globals(&mut s, &facts, &[hot]).unwrap();
+        let hot_has_load = s
+            .body(hot)
+            .unwrap()
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i, Instr::LoadGlobal { .. }));
+        let cold_has_load = s
+            .body(cold)
+            .unwrap()
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i, Instr::LoadGlobal { .. }));
+        assert!(!hot_has_load, "hot was folded");
+        assert!(cold_has_load, "cold was not selected");
+    }
+}

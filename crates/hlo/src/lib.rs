@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! The high-level optimizer (HLO).
+//!
+//! HLO is where the paper's cross-module optimization happens (§3):
+//! the linker hands it multiple modules' worth of IL in a single
+//! compilation, and it performs interprocedural analysis and
+//! transformation across all of them — "inlining, cloning, dead code
+//! elimination, constant propagation, memory disambiguation" — with
+//! call profiles improving the inlining heuristics when PBO is on.
+//!
+//! Every routine body and module symbol table lives in a NAIM pool
+//! behind the [`cmo_naim::Loader`]; HLO loads what it needs for the
+//! current task and requests unloads when done (§4.2). Analysis
+//! results (the call graph annotations, mod/ref summaries, maintained
+//! block counts) are *derived* data: recomputed from scratch, never
+//! kept incrementally up to date, freely discarded (§4.1).
+//!
+//! The inliner honours *operation limits* (§6.3): a cap on the number
+//! of inline operations performed, binary-searchable by the automatic
+//! bug-isolation driver in the `cmo` crate.
+
+mod callgraph;
+mod clone;
+mod inline;
+mod ipa;
+mod session;
+
+pub use callgraph::{CallEdge, CallGraph};
+pub use clone::{clone_pass, CloneOptions, CloneStats};
+pub use inline::{inline_pass, InlineOptions, InlineStats};
+pub use ipa::{fold_globals, GlobalFacts, ModRef};
+pub use session::{HloSession, HloStats};

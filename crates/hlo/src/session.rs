@@ -1,0 +1,335 @@
+//! The HLO optimization session: program state behind the NAIM loader.
+
+use cmo_ir::{LinkedUnit, ModuleId, Program, RoutineBody, RoutineId, Transitory};
+use cmo_naim::{Loader, MemClass, MemorySnapshot, NaimConfig, NaimError, PoolId, PoolKind};
+use cmo_profile::{ProfileDb, RoutineShape};
+use std::collections::BTreeMap;
+
+/// What [`HloSession::into_parts`] yields: the program, every routine
+/// body, every module symbol table, and the maintained per-routine
+/// block counts.
+pub type SessionParts = (
+    Program,
+    Vec<RoutineBody>,
+    Vec<cmo_ir::ModuleSymbols>,
+    Vec<Option<Vec<u64>>>,
+);
+
+/// Counters describing HLO activity for one compilation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HloStats {
+    /// Inline operations performed.
+    pub inlines: u64,
+    /// Call sites considered by the inliner.
+    pub sites_considered: u64,
+    /// Loads of never-stored globals folded to constants.
+    pub globals_folded: u64,
+    /// Stores to never-read globals removed.
+    pub dead_stores_removed: u64,
+    /// Routines found unreachable after optimization.
+    pub dead_routines: u64,
+    /// Specialized clones created for constant arguments.
+    pub clones: u64,
+}
+
+/// One optimization session over a linked program.
+///
+/// Owns the always-resident program symbol information and the NAIM
+/// loader holding every transitory pool. All body access goes through
+/// [`HloSession::body`] / [`HloSession::body_mut`] so the loader can
+/// manage residency, and phases call [`HloSession::unload_all`] at
+/// their boundaries ("clients simply request that all unneeded pools
+/// are unloaded", §4.3).
+#[derive(Debug)]
+pub struct HloSession {
+    /// The program symbol tables (global objects, always resident).
+    pub program: Program,
+    loader: Loader<Transitory>,
+    routine_pool: Vec<PoolId>,
+    symtab_pool: Vec<PoolId>,
+    /// Maintained block execution counts per routine (derived data;
+    /// correlated from the profile db at session start and kept up to
+    /// date by transformations).
+    counts: Vec<Option<Vec<u64>>>,
+    /// Maintained call-site counts per routine (derived data).
+    site_counts: Vec<BTreeMap<u32, u64>>,
+    /// Whether the stored profile was stale for this routine.
+    stale: Vec<bool>,
+    pub(crate) stats: HloStats,
+}
+
+/// Shape of a body as HLO sees it (for profile correlation).
+fn shape_of(body: &RoutineBody) -> RoutineShape {
+    RoutineShape {
+        n_blocks: body.blocks.len() as u32,
+        n_sites: body.next_site,
+        fingerprint: body.fingerprint(),
+    }
+}
+
+impl HloSession {
+    /// Builds a session from a linked unit, moving every routine body
+    /// and module symbol table into NAIM pools and correlating profile
+    /// data with the current program structure (§3).
+    ///
+    /// # Errors
+    ///
+    /// Returns a NAIM error if the initial read-in exceeds the hard
+    /// memory limit (the paper's failed non-selective compiles).
+    pub fn new(
+        unit: LinkedUnit,
+        config: NaimConfig,
+        db: Option<&ProfileDb>,
+    ) -> Result<Self, NaimError> {
+        let LinkedUnit {
+            program,
+            bodies,
+            symtabs,
+        } = unit;
+        let mut loader = Loader::new(config);
+        loader.account(MemClass::Global, program.heap_bytes() as isize);
+
+        let mut counts = Vec::with_capacity(bodies.len());
+        let mut site_counts = Vec::with_capacity(bodies.len());
+        let mut stale = Vec::with_capacity(bodies.len());
+        let mut routine_pool = Vec::with_capacity(bodies.len());
+        for (i, body) in bodies.iter().enumerate() {
+            let rid = RoutineId::from_index(i);
+            let name = program.name(program.routine(rid).name);
+            let (blocks, sites, was_stale) = match db {
+                None => (None, BTreeMap::new(), false),
+                Some(db) => {
+                    let current = shape_of(body);
+                    let (freshness, prof) = db.lookup(name, current);
+                    match prof {
+                        None => (None, BTreeMap::new(), false),
+                        Some(p) => {
+                            let was_stale = freshness == cmo_profile::Freshness::Stale;
+                            let mut blocks = p.blocks.clone();
+                            blocks.resize(body.blocks.len(), 0);
+                            let sites: BTreeMap<u32, u64> = p
+                                .sites
+                                .iter()
+                                .enumerate()
+                                .take(body.next_site as usize)
+                                .map(|(s, &c)| (s as u32, c))
+                                .collect();
+                            (Some(blocks), sites, was_stale)
+                        }
+                    }
+                }
+            };
+            counts.push(blocks);
+            site_counts.push(sites);
+            stale.push(was_stale);
+        }
+        // Read-in: each module's pools are registered and immediately
+        // marked unloadable, so the loader's thresholds govern peak
+        // memory from the first module on (§5's read-in pass) instead
+        // of everything sitting expanded at once.
+        for body in bodies {
+            let pool = loader.insert(Transitory::Routine(body), PoolKind::Ir);
+            loader.unload(pool)?;
+            routine_pool.push(pool);
+        }
+        let mut symtab_pool = Vec::with_capacity(symtabs.len());
+        for st in symtabs {
+            let pool = loader.insert(Transitory::SymTab(st), PoolKind::SymTab);
+            loader.unload(pool)?;
+            symtab_pool.push(pool);
+        }
+        // Derived-data accounting for the maintained counts.
+        let derived: usize = counts
+            .iter()
+            .map(|c| c.as_ref().map_or(0, |v| v.len() * 8 + 24))
+            .sum();
+        loader.account(MemClass::Derived, derived as isize);
+        loader.enforce()?;
+        Ok(HloSession {
+            program,
+            loader,
+            routine_pool,
+            symtab_pool,
+            counts,
+            site_counts,
+            stale,
+            stats: HloStats::default(),
+        })
+    }
+
+    /// Number of routines in the program.
+    #[must_use]
+    pub fn n_routines(&self) -> usize {
+        self.routine_pool.len()
+    }
+
+    /// Shared access to a routine body (loads it if necessary).
+    ///
+    /// # Errors
+    ///
+    /// Propagates loader failures.
+    pub fn body(&mut self, rid: RoutineId) -> Result<&RoutineBody, NaimError> {
+        let pool = self.routine_pool[rid.index()];
+        Ok(self.loader.get(pool)?.routine())
+    }
+
+    /// Exclusive access to a routine body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates loader failures.
+    pub fn body_mut(&mut self, rid: RoutineId) -> Result<&mut RoutineBody, NaimError> {
+        let pool = self.routine_pool[rid.index()];
+        Ok(self.loader.get_mut(pool)?.routine_mut())
+    }
+
+    /// Shared access to a module symbol table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates loader failures.
+    pub fn symtab(&mut self, m: ModuleId) -> Result<&cmo_ir::ModuleSymbols, NaimError> {
+        let pool = self.symtab_pool[m.index()];
+        Ok(self.loader.get(pool)?.symtab())
+    }
+
+    /// Declares a routine body unneeded for now.
+    ///
+    /// # Errors
+    ///
+    /// Propagates loader failures (hard out-of-memory).
+    pub fn unload(&mut self, rid: RoutineId) -> Result<(), NaimError> {
+        self.loader.unload(self.routine_pool[rid.index()])
+    }
+
+    /// Declares everything unneeded (phase boundary).
+    ///
+    /// # Errors
+    ///
+    /// Propagates loader failures (hard out-of-memory).
+    pub fn unload_all(&mut self) -> Result<(), NaimError> {
+        self.loader.unload_all()
+    }
+
+    /// Current memory snapshot (the Figure 4/5 measurements).
+    #[must_use]
+    pub fn memory(&self) -> MemorySnapshot {
+        self.loader.memory()
+    }
+
+    /// Loader activity counters.
+    #[must_use]
+    pub fn loader_stats(&self) -> cmo_naim::LoaderStats {
+        self.loader.stats()
+    }
+
+    /// HLO transformation counters.
+    #[must_use]
+    pub fn stats(&self) -> HloStats {
+        self.stats
+    }
+
+    /// Records the number of routines found dead after optimization.
+    pub fn record_dead_routines(&mut self, n: u64) {
+        self.stats.dead_routines = n;
+    }
+
+    /// Records extra derived-data bytes (analysis results).
+    pub fn account_derived(&mut self, delta: isize) {
+        self.loader.account(MemClass::Derived, delta);
+    }
+
+    /// Maintained block counts for `rid`, if profile data existed.
+    #[must_use]
+    pub fn block_counts(&self, rid: RoutineId) -> Option<&[u64]> {
+        self.counts[rid.index()].as_deref()
+    }
+
+    /// Maintained site count for a call site of `rid`.
+    #[must_use]
+    pub fn site_count(&self, rid: RoutineId, site: u32) -> u64 {
+        self.site_counts[rid.index()]
+            .get(&site)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Entry count (block 0) for `rid`, 0 when unprofiled.
+    #[must_use]
+    pub fn entry_count(&self, rid: RoutineId) -> u64 {
+        self.counts[rid.index()]
+            .as_ref()
+            .and_then(|c| c.first().copied())
+            .unwrap_or(0)
+    }
+
+    /// Whether the profile for `rid` was stale (shape changed since
+    /// instrumentation, §6.2).
+    #[must_use]
+    pub fn profile_stale(&self, rid: RoutineId) -> bool {
+        self.stale[rid.index()]
+    }
+
+    /// Returns `true` if any routine had profile counts.
+    #[must_use]
+    pub fn has_profile(&self) -> bool {
+        self.counts.iter().any(Option::is_some)
+    }
+
+    pub(crate) fn counts_mut(
+        &mut self,
+        rid: RoutineId,
+    ) -> (&mut Option<Vec<u64>>, &mut BTreeMap<u32, u64>) {
+        let i = rid.index();
+        (&mut self.counts[i], &mut self.site_counts[i])
+    }
+
+    pub(crate) fn site_counts_of(&self, rid: RoutineId) -> &BTreeMap<u32, u64> {
+        &self.site_counts[rid.index()]
+    }
+
+    /// Registers a new routine created by optimization (cloning): adds
+    /// its metadata to the program symbol table and its body to a new
+    /// NAIM pool, with maintained counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates loader failures.
+    pub fn add_cloned_routine(
+        &mut self,
+        meta: cmo_ir::RoutineMeta,
+        body: RoutineBody,
+        counts: Option<Vec<u64>>,
+        site_counts: BTreeMap<u32, u64>,
+    ) -> Result<RoutineId, NaimError> {
+        let rid = self.program.add_routine(meta);
+        debug_assert_eq!(rid.index(), self.routine_pool.len());
+        let pool = self.loader.insert(Transitory::Routine(body), PoolKind::Ir);
+        self.loader.unload(pool)?;
+        self.routine_pool.push(pool);
+        self.counts.push(counts);
+        self.site_counts.push(site_counts);
+        self.stale.push(false);
+        Ok(rid)
+    }
+
+    /// Consumes the session, returning the program and all (possibly
+    /// transformed) routine bodies plus maintained block counts, ready
+    /// for LLO and linking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates loader failures while draining pools.
+    pub fn into_parts(mut self) -> Result<SessionParts, NaimError> {
+        let mut bodies = Vec::with_capacity(self.routine_pool.len());
+        for i in 0..self.routine_pool.len() {
+            let rid = RoutineId::from_index(i);
+            bodies.push(self.body(rid)?.clone());
+        }
+        let mut symtabs = Vec::with_capacity(self.symtab_pool.len());
+        for m in 0..self.symtab_pool.len() {
+            symtabs.push(self.symtab(ModuleId::from_index(m))?.clone());
+        }
+        Ok((self.program, bodies, symtabs, self.counts))
+    }
+}

@@ -1,0 +1,109 @@
+//! Typed identifiers.
+//!
+//! Every reference between IL objects is a small, stable integer. This
+//! is load-bearing for the reproduction in two ways: stable indices are
+//! exactly the persistent identifiers the NAIM relocatable form needs
+//! (§4.2.1), and never keying anything on machine addresses is what
+//! makes compilations bit-reproducible across runs and machines (§6.2).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a table index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` exceeds `u32::MAX`.
+            #[must_use]
+            pub fn from_index(index: usize) -> Self {
+                $name(u32::try_from(index).expect("id index fits in u32"))
+            }
+
+            /// Returns the table index this id names.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// An interned string in a program or object-file string table.
+    Sym,
+    "sym"
+);
+id_type!(
+    /// A module in the program module table.
+    ModuleId,
+    "mod"
+);
+id_type!(
+    /// A routine in the program-wide routine table (part of the
+    /// always-resident program symbol table).
+    RoutineId,
+    "fn"
+);
+id_type!(
+    /// A global variable in the program-wide variable table.
+    GlobalId,
+    "gv"
+);
+id_type!(
+    /// A basic block within one routine.
+    Block,
+    "bb"
+);
+id_type!(
+    /// A virtual register within one routine.
+    VReg,
+    "%"
+);
+id_type!(
+    /// A local variable slot within one routine.
+    Local,
+    "loc"
+);
+id_type!(
+    /// A call site within one routine; stable across optimization so
+    /// profile data can be correlated with program structure.
+    CallSiteId,
+    "cs"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_indices() {
+        let r = RoutineId::from_index(7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(format!("{r}"), "fn7");
+        assert_eq!(format!("{r:?}"), "fn7");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(Block::from_index(1) < Block::from_index(2));
+        assert_eq!(VReg::default().index(), 0);
+    }
+}

@@ -1,0 +1,508 @@
+//! IL instructions and block terminators.
+
+use crate::ids::{Block, CallSiteId, GlobalId, Local, RoutineId, Sym, VReg};
+use crate::types::Const;
+use std::fmt;
+
+/// Integer and float binary operators.
+///
+/// Comparison operators produce an `i64` 0/1. Float operators are the
+/// `F`-prefixed variants; mixing is rejected by validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `lhs + rhs` (wrapping).
+    Add,
+    /// `lhs - rhs` (wrapping).
+    Sub,
+    /// `lhs * rhs` (wrapping).
+    Mul,
+    /// `lhs / rhs`; division by zero yields 0 (the abstract machine is
+    /// total so optimizer correctness is testable on all inputs).
+    Div,
+    /// `lhs % rhs`; modulo by zero yields 0.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left by `rhs & 63`.
+    Shl,
+    /// Arithmetic shift right by `rhs & 63`.
+    Shr,
+    /// Integer equality (0/1).
+    Eq,
+    /// Integer inequality (0/1).
+    Ne,
+    /// Signed less-than (0/1).
+    Lt,
+    /// Signed less-or-equal (0/1).
+    Le,
+    /// Float add.
+    FAdd,
+    /// Float subtract.
+    FSub,
+    /// Float multiply.
+    FMul,
+    /// Float divide.
+    FDiv,
+    /// Float ordered less-than (0/1 integer result).
+    FLt,
+    /// Float ordered equality (0/1 integer result).
+    FEq,
+}
+
+impl BinOp {
+    /// Returns `true` for operators on float operands.
+    #[must_use]
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv | BinOp::FLt | BinOp::FEq
+        )
+    }
+
+    /// Returns `true` for comparison operators (integer 0/1 result).
+    #[must_use]
+    pub fn is_compare(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::FLt | BinOp::FEq
+        )
+    }
+
+    /// Returns `true` if `op(a, b) == op(b, a)` for all operands.
+    #[must_use]
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::FAdd
+                | BinOp::FMul
+                | BinOp::FEq
+        )
+    }
+
+    /// Lowercase mnemonic used by the printer.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Eq => "eq",
+            BinOp::Ne => "ne",
+            BinOp::Lt => "lt",
+            BinOp::Le => "le",
+            BinOp::FAdd => "fadd",
+            BinOp::FSub => "fsub",
+            BinOp::FMul => "fmul",
+            BinOp::FDiv => "fdiv",
+            BinOp::FLt => "flt",
+            BinOp::FEq => "feq",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Integer negation (wrapping).
+    Neg,
+    /// Logical not: 1 if the operand is 0, else 0.
+    Not,
+    /// Float negation.
+    FNeg,
+    /// Integer-to-float conversion.
+    I2F,
+    /// Float-to-integer truncation (saturating).
+    F2I,
+}
+
+impl UnOp {
+    /// Lowercase mnemonic used by the printer.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+            UnOp::FNeg => "fneg",
+            UnOp::I2F => "i2f",
+            UnOp::F2I => "f2i",
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A reference to a global variable.
+///
+/// Frontends emit [`GlobalRef::Name`]; IL linking resolves every
+/// reference to [`GlobalRef::Id`] against the program symbol table. The
+/// optimizer and code generator require resolved form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GlobalRef {
+    /// Unresolved: a name in the object file's own string table.
+    Name(Sym),
+    /// Resolved: an index into the program global-variable table.
+    Id(GlobalId),
+}
+
+impl GlobalRef {
+    /// The resolved id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is still name-based; linking must run
+    /// before optimization.
+    #[must_use]
+    pub fn id(self) -> GlobalId {
+        match self {
+            GlobalRef::Id(id) => id,
+            GlobalRef::Name(sym) => panic!("unresolved global reference {sym}"),
+        }
+    }
+}
+
+/// A reference to a callee routine; same resolution story as
+/// [`GlobalRef`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CalleeRef {
+    /// Unresolved object-file name.
+    Name(Sym),
+    /// Resolved program routine.
+    Id(RoutineId),
+}
+
+impl CalleeRef {
+    /// The resolved id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is still name-based.
+    #[must_use]
+    pub fn id(self) -> RoutineId {
+        match self {
+            CalleeRef::Id(id) => id,
+            CalleeRef::Name(sym) => panic!("unresolved callee reference {sym}"),
+        }
+    }
+}
+
+/// Base address of an indexed memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemBase {
+    /// A local array variable.
+    Local(Local),
+    /// A global array variable.
+    Global(GlobalRef),
+}
+
+/// A non-terminator IL instruction.
+///
+/// The IL is three-address code over routine-scoped virtual registers.
+/// It is deliberately *not* SSA: the 1998 HLO predates SSA adoption, and
+/// non-SSA TAC keeps compaction simple (no phi bookkeeping in the
+/// relocatable form).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `dst = value`.
+    Const {
+        /// Destination register.
+        dst: VReg,
+        /// The constant.
+        value: Const,
+    },
+    /// `dst = op(lhs, rhs)`.
+    Bin {
+        /// Destination register.
+        dst: VReg,
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: VReg,
+        /// Right operand.
+        rhs: VReg,
+    },
+    /// `dst = op(src)`.
+    Un {
+        /// Destination register.
+        dst: VReg,
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        src: VReg,
+    },
+    /// `dst = src` (register copy).
+    Mov {
+        /// Destination register.
+        dst: VReg,
+        /// Source register.
+        src: VReg,
+    },
+    /// `dst = local`.
+    LoadLocal {
+        /// Destination register.
+        dst: VReg,
+        /// Source local slot.
+        local: Local,
+    },
+    /// `local = src`.
+    StoreLocal {
+        /// Destination local slot.
+        local: Local,
+        /// Source register.
+        src: VReg,
+    },
+    /// `dst = global`.
+    LoadGlobal {
+        /// Destination register.
+        dst: VReg,
+        /// Source global.
+        global: GlobalRef,
+    },
+    /// `global = src`.
+    StoreGlobal {
+        /// Destination global.
+        global: GlobalRef,
+        /// Source register.
+        src: VReg,
+    },
+    /// `dst = base[index]`; out-of-bounds indices wrap modulo the array
+    /// length (total semantics, see [`BinOp::Div`]).
+    LoadElem {
+        /// Destination register.
+        dst: VReg,
+        /// Array base.
+        base: MemBase,
+        /// Element index register.
+        index: VReg,
+    },
+    /// `base[index] = src`.
+    StoreElem {
+        /// Array base.
+        base: MemBase,
+        /// Element index register.
+        index: VReg,
+        /// Source register.
+        src: VReg,
+    },
+    /// `dst = callee(args...)`.
+    Call {
+        /// Destination for the return value, if used.
+        dst: Option<VReg>,
+        /// The callee.
+        callee: CalleeRef,
+        /// Argument registers, matching the callee signature.
+        args: Vec<VReg>,
+        /// Stable call-site identity for profiles and inlining.
+        site: CallSiteId,
+    },
+    /// `dst = next value from the workload input stream` (0 when
+    /// exhausted). This is how train/reference data sets reach the
+    /// program.
+    Input {
+        /// Destination register.
+        dst: VReg,
+    },
+    /// Mixes `src` into the program output checksum; keeps computations
+    /// observable so the optimizer cannot delete the whole workload.
+    Output {
+        /// Source register.
+        src: VReg,
+    },
+}
+
+impl Instr {
+    /// The register this instruction defines, if any.
+    #[must_use]
+    pub fn def(&self) -> Option<VReg> {
+        match self {
+            Instr::Const { dst, .. }
+            | Instr::Bin { dst, .. }
+            | Instr::Un { dst, .. }
+            | Instr::Mov { dst, .. }
+            | Instr::LoadLocal { dst, .. }
+            | Instr::LoadGlobal { dst, .. }
+            | Instr::LoadElem { dst, .. }
+            | Instr::Input { dst } => Some(*dst),
+            Instr::Call { dst, .. } => *dst,
+            Instr::StoreLocal { .. }
+            | Instr::StoreGlobal { .. }
+            | Instr::StoreElem { .. }
+            | Instr::Output { .. } => None,
+        }
+    }
+
+    /// Appends the registers this instruction reads to `out`.
+    pub fn uses_into(&self, out: &mut Vec<VReg>) {
+        match self {
+            Instr::Const { .. } | Instr::Input { .. } => {}
+            Instr::Bin { lhs, rhs, .. } => {
+                out.push(*lhs);
+                out.push(*rhs);
+            }
+            Instr::Un { src, .. }
+            | Instr::Mov { src, .. }
+            | Instr::StoreLocal { src, .. }
+            | Instr::StoreGlobal { src, .. }
+            | Instr::Output { src } => out.push(*src),
+            Instr::LoadLocal { .. } | Instr::LoadGlobal { .. } => {}
+            Instr::LoadElem { index, .. } => out.push(*index),
+            Instr::StoreElem { index, src, .. } => {
+                out.push(*index);
+                out.push(*src);
+            }
+            Instr::Call { args, .. } => out.extend_from_slice(args),
+        }
+    }
+
+    /// The registers this instruction reads.
+    #[must_use]
+    pub fn uses(&self) -> Vec<VReg> {
+        let mut v = Vec::new();
+        self.uses_into(&mut v);
+        v
+    }
+
+    /// Returns `true` if deleting this instruction can change observable
+    /// behaviour even when its result is unused.
+    #[must_use]
+    pub fn has_side_effects(&self) -> bool {
+        matches!(
+            self,
+            Instr::StoreLocal { .. }
+                | Instr::StoreGlobal { .. }
+                | Instr::StoreElem { .. }
+                | Instr::Call { .. }
+                | Instr::Input { .. }
+                | Instr::Output { .. }
+        )
+    }
+}
+
+/// A basic-block terminator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(Block),
+    /// Two-way branch: to `then_bb` if `cond` is non-zero, else
+    /// `else_bb`.
+    Branch {
+        /// Condition register (integer).
+        cond: VReg,
+        /// Non-zero target.
+        then_bb: Block,
+        /// Zero target.
+        else_bb: Block,
+    },
+    /// Return from the routine.
+    Return(Option<VReg>),
+}
+
+impl Terminator {
+    /// Successor blocks, in branch order.
+    #[must_use]
+    pub fn successors(&self) -> Vec<Block> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Return(_) => vec![],
+        }
+    }
+
+    /// The register the terminator reads, if any.
+    #[must_use]
+    pub fn use_reg(&self) -> Option<VReg> {
+        match self {
+            Terminator::Branch { cond, .. } => Some(*cond),
+            Terminator::Return(r) => *r,
+            Terminator::Jump(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defs_and_uses_are_consistent() {
+        let i = Instr::Bin {
+            dst: VReg(3),
+            op: BinOp::Add,
+            lhs: VReg(1),
+            rhs: VReg(2),
+        };
+        assert_eq!(i.def(), Some(VReg(3)));
+        assert_eq!(i.uses(), vec![VReg(1), VReg(2)]);
+        assert!(!i.has_side_effects());
+    }
+
+    #[test]
+    fn call_without_dst_has_no_def() {
+        let i = Instr::Call {
+            dst: None,
+            callee: CalleeRef::Id(RoutineId(0)),
+            args: vec![VReg(5)],
+            site: CallSiteId(0),
+        };
+        assert_eq!(i.def(), None);
+        assert_eq!(i.uses(), vec![VReg(5)]);
+        assert!(i.has_side_effects());
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Jump(Block(4)).successors(), vec![Block(4)]);
+        assert!(Terminator::Return(None).successors().is_empty());
+        let b = Terminator::Branch {
+            cond: VReg(0),
+            then_bb: Block(1),
+            else_bb: Block(2),
+        };
+        assert_eq!(b.successors(), vec![Block(1), Block(2)]);
+        assert_eq!(b.use_reg(), Some(VReg(0)));
+    }
+
+    #[test]
+    fn op_classifications() {
+        assert!(BinOp::FAdd.is_float());
+        assert!(!BinOp::Add.is_float());
+        assert!(BinOp::Lt.is_compare());
+        assert!(BinOp::Add.is_commutative());
+        assert!(!BinOp::Sub.is_commutative());
+    }
+
+    #[test]
+    #[should_panic(expected = "unresolved")]
+    fn unresolved_ref_panics_on_id() {
+        let _ = GlobalRef::Name(Sym(0)).id();
+    }
+}

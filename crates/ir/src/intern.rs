@@ -1,0 +1,122 @@
+//! Deterministic string interning.
+
+use crate::ids::Sym;
+use std::collections::HashMap;
+
+/// A string interner mapping names to stable [`Sym`] indices.
+///
+/// Symbols are numbered in first-intern order and the table is only
+/// ever iterated by index, never by hash order, preserving the
+/// determinism discipline of §6.2.
+///
+/// # Example
+///
+/// ```
+/// use cmo_ir::Interner;
+/// let mut i = Interner::new();
+/// let a = i.intern("printf");
+/// let b = i.intern("printf");
+/// assert_eq!(a, b);
+/// assert_eq!(i.resolve(a), "printf");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, Sym>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its stable symbol.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&sym) = self.map.get(name) {
+            return sym;
+        }
+        let sym = Sym::from_index(self.names.len());
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), sym);
+        sym
+    }
+
+    /// Looks up a symbol without interning.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.map.get(name).copied()
+    }
+
+    /// Returns the string for `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this interner.
+    #[must_use]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned strings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Sym, &str)` pairs in intern order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Sym::from_index(i), s.as_str()))
+    }
+
+    /// Approximate heap bytes, for memory accounting.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        let strings: usize = self.names.iter().map(|s| s.capacity() + 24).sum();
+        // The map roughly doubles the string storage plus entry overhead.
+        strings * 2 + self.map.len() * 16 + self.names.capacity() * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("x"), a);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn symbols_number_in_first_seen_order() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("a").index(), 0);
+        assert_eq!(i.intern("b").index(), 1);
+        assert_eq!(i.intern("a").index(), 0);
+        let collected: Vec<_> = i.iter().map(|(_, s)| s.to_owned()).collect();
+        assert_eq!(collected, ["a", "b"]);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.lookup("missing").is_none());
+        let s = i.intern("present");
+        assert_eq!(i.lookup("present"), Some(s));
+    }
+}

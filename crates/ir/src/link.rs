@@ -1,0 +1,510 @@
+//! IL-level linking: merging object files into a [`Program`].
+//!
+//! This is the front half of the paper's linker behaviour (§3): when
+//! the linker encounters IL objects it combines them, resolves every
+//! name-based cross-module reference against the program symbol table,
+//! and hands the result to the optimizer. Module-internal symbols
+//! shadow exports, and two modules may define internal symbols with the
+//! same name without conflict.
+
+use crate::ids::{GlobalId, ModuleId, RoutineId};
+use crate::instr::{CalleeRef, GlobalRef, Instr, MemBase};
+use crate::module::{Linkage, ModuleInfo, ModuleSymbols};
+use crate::object::IlObject;
+use crate::program::{GlobalMeta, Program};
+use crate::routine::{RoutineBody, RoutineMeta};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A linking failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// A referenced symbol is defined nowhere.
+    Undefined {
+        /// Module containing the reference.
+        module: String,
+        /// The unresolved name.
+        name: String,
+    },
+    /// Two modules export the same name.
+    DuplicateExport {
+        /// The clashing name.
+        name: String,
+        /// First exporting module.
+        first: String,
+        /// Second exporting module.
+        second: String,
+    },
+    /// One module defines the same name twice.
+    DuplicateLocal {
+        /// The defining module.
+        module: String,
+        /// The clashing name.
+        name: String,
+    },
+    /// A call passes the wrong number of arguments. The paper notes
+    /// mismatched interfaces "only show up with interprocedural
+    /// optimization" (§6.3) — our IL link rejects them eagerly.
+    ArityMismatch {
+        /// Calling module.
+        module: String,
+        /// Callee name.
+        callee: String,
+        /// Arity the callee declares.
+        expected: usize,
+        /// Arity at the call site.
+        got: usize,
+    },
+    /// A call uses the result of a procedure with no return value.
+    ReturnMismatch {
+        /// Calling module.
+        module: String,
+        /// Callee name.
+        callee: String,
+    },
+    /// A scalar access targeted an array global or vice versa.
+    KindMismatch {
+        /// Module containing the access.
+        module: String,
+        /// The global's name.
+        name: String,
+    },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Undefined { module, name } => {
+                write!(f, "undefined symbol `{name}` referenced from module `{module}`")
+            }
+            LinkError::DuplicateExport {
+                name,
+                first,
+                second,
+            } => write!(
+                f,
+                "symbol `{name}` exported by both `{first}` and `{second}`"
+            ),
+            LinkError::DuplicateLocal { module, name } => {
+                write!(f, "module `{module}` defines `{name}` more than once")
+            }
+            LinkError::ArityMismatch {
+                module,
+                callee,
+                expected,
+                got,
+            } => write!(
+                f,
+                "call to `{callee}` from `{module}` passes {got} arguments, expected {expected}"
+            ),
+            LinkError::ReturnMismatch { module, callee } => write!(
+                f,
+                "call from `{module}` uses the result of `{callee}`, which returns nothing"
+            ),
+            LinkError::KindMismatch { module, name } => write!(
+                f,
+                "global `{name}` accessed with the wrong shape (scalar vs array) in `{module}`"
+            ),
+        }
+    }
+}
+
+impl Error for LinkError {}
+
+/// The output of IL linking: the program symbol information plus the
+/// transitory payloads (routine bodies and module symbol tables) ready
+/// to be handed to the NAIM loader.
+#[derive(Debug)]
+pub struct LinkedUnit {
+    /// Program-wide symbol tables (always-resident global objects).
+    pub program: Program,
+    /// Routine bodies, indexed by [`RoutineId`]; fully resolved.
+    pub bodies: Vec<RoutineBody>,
+    /// Module symbol tables, indexed by [`ModuleId`]; names re-interned
+    /// into the program interner.
+    pub symtabs: Vec<ModuleSymbols>,
+}
+
+struct ModuleScope {
+    routines: HashMap<String, RoutineId>,
+    globals: HashMap<String, GlobalId>,
+}
+
+/// Links IL objects into a program, resolving all symbolic references.
+///
+/// # Errors
+///
+/// Returns a [`LinkError`] for undefined symbols, duplicate
+/// definitions, or interface mismatches.
+pub fn link_objects(objects: Vec<IlObject>) -> Result<LinkedUnit, LinkError> {
+    let mut program = Program::new();
+    let mut bodies: Vec<RoutineBody> = Vec::new();
+    let mut symtabs: Vec<ModuleSymbols> = Vec::new();
+    let mut scopes: Vec<ModuleScope> = Vec::new();
+    // Exported name → (defining module name, id), for duplicate checks.
+    let mut exported_routines: HashMap<String, (String, RoutineId)> = HashMap::new();
+    let mut exported_globals: HashMap<String, (String, GlobalId)> = HashMap::new();
+
+    // Pass 1: register every definition in the program symbol table.
+    for obj in &objects {
+        let module_sym = program.interner_mut().intern(&obj.module_name);
+        let module_id = program.add_module(ModuleInfo {
+            name: module_sym,
+            routines: Vec::new(),
+            source_lines: obj.source_lines,
+            language: obj.language,
+        });
+        let mut scope = ModuleScope {
+            routines: HashMap::new(),
+            globals: HashMap::new(),
+        };
+
+        let mut symtab = ModuleSymbols::new();
+        for (slot, g) in obj.symbols.globals.iter().enumerate() {
+            let gname = obj.strings.resolve(g.name).to_owned();
+            if scope.globals.contains_key(&gname) || scope.routines.contains_key(&gname) {
+                return Err(LinkError::DuplicateLocal {
+                    module: obj.module_name.clone(),
+                    name: gname,
+                });
+            }
+            let prog_sym = program.interner_mut().intern(&gname);
+            if g.linkage == Linkage::Export {
+                if let Some((first, _)) = exported_globals.get(&gname) {
+                    return Err(LinkError::DuplicateExport {
+                        name: gname,
+                        first: first.clone(),
+                        second: obj.module_name.clone(),
+                    });
+                }
+            }
+            let gid = program.add_global(GlobalMeta {
+                name: prog_sym,
+                module: module_id,
+                slot: u32::try_from(slot).expect("global slot fits u32"),
+                ty: g.ty,
+                linkage: g.linkage,
+            });
+            if g.linkage == Linkage::Export {
+                exported_globals.insert(gname.clone(), (obj.module_name.clone(), gid));
+            }
+            scope.globals.insert(gname, gid);
+            let mut resolved = g.clone();
+            resolved.name = prog_sym;
+            symtab.globals.push(resolved);
+        }
+        symtabs.push(symtab);
+
+        for def in &obj.routines {
+            let rname = obj.strings.resolve(def.name).to_owned();
+            if scope.routines.contains_key(&rname) || scope.globals.contains_key(&rname) {
+                return Err(LinkError::DuplicateLocal {
+                    module: obj.module_name.clone(),
+                    name: rname,
+                });
+            }
+            let prog_sym = program.interner_mut().intern(&rname);
+            if def.linkage == Linkage::Export {
+                if let Some((first, _)) = exported_routines.get(&rname) {
+                    return Err(LinkError::DuplicateExport {
+                        name: rname,
+                        first: first.clone(),
+                        second: obj.module_name.clone(),
+                    });
+                }
+            }
+            let rid = program.add_routine(RoutineMeta {
+                name: prog_sym,
+                module: module_id,
+                sig: def.sig.clone(),
+                linkage: def.linkage,
+                source_lines: def.source_lines,
+                il_size: u32::try_from(def.body.instr_count()).unwrap_or(u32::MAX),
+            });
+            if def.linkage == Linkage::Export {
+                exported_routines.insert(rname.clone(), (obj.module_name.clone(), rid));
+            }
+            scope.routines.insert(rname, rid);
+            bodies.push(def.body.clone());
+        }
+        scopes.push(scope);
+    }
+
+    // Record per-module routine lists.
+    for (m, scope) in scopes.iter().enumerate() {
+        let mut rids: Vec<RoutineId> = scope.routines.values().copied().collect();
+        rids.sort_unstable();
+        let module_id = ModuleId::from_index(m);
+        for &rid in &rids {
+            debug_assert_eq!(program.routine(rid).module, module_id);
+        }
+        // Safe: modules were added in order.
+        let info = &mut program_module_mut(&mut program, module_id);
+        info.routines = rids;
+    }
+
+    // Pass 2: resolve every reference inside every body.
+    let mut body_index = 0usize;
+    for (m, obj) in objects.iter().enumerate() {
+        let scope = &scopes[m];
+        for _def in &obj.routines {
+            let body = &mut bodies[body_index];
+            body_index += 1;
+            resolve_body(
+                body,
+                obj,
+                scope,
+                &exported_routines,
+                &exported_globals,
+                &program,
+            )?;
+        }
+    }
+
+    Ok(LinkedUnit {
+        program,
+        bodies,
+        symtabs,
+    })
+}
+
+fn program_module_mut(program: &mut Program, m: ModuleId) -> &mut ModuleInfo {
+    // Program exposes only immutable module access publicly; linking is
+    // the one construction site that patches routine lists in.
+    let modules = program.modules().len();
+    assert!(m.index() < modules);
+    // Re-add through a small internal helper on Program.
+    program.module_mut_internal(m)
+}
+
+fn resolve_body(
+    body: &mut RoutineBody,
+    obj: &IlObject,
+    scope: &ModuleScope,
+    exported_routines: &HashMap<String, (String, RoutineId)>,
+    exported_globals: &HashMap<String, (String, GlobalId)>,
+    program: &Program,
+) -> Result<(), LinkError> {
+    let module = obj.module_name.clone();
+    let resolve_global = |sym| -> Result<GlobalId, LinkError> {
+        let name = obj.strings.resolve(sym);
+        scope
+            .globals
+            .get(name)
+            .copied()
+            .or_else(|| exported_globals.get(name).map(|&(_, id)| id))
+            .ok_or_else(|| LinkError::Undefined {
+                module: module.clone(),
+                name: name.to_owned(),
+            })
+    };
+    let resolve_callee = |sym| -> Result<RoutineId, LinkError> {
+        let name = obj.strings.resolve(sym);
+        scope
+            .routines
+            .get(name)
+            .copied()
+            .or_else(|| exported_routines.get(name).map(|&(_, id)| id))
+            .ok_or_else(|| LinkError::Undefined {
+                module: module.clone(),
+                name: name.to_owned(),
+            })
+    };
+    let check_shape = |gid: GlobalId, want_array: bool| -> Result<GlobalId, LinkError> {
+        let meta = program.global(gid);
+        if meta.ty.is_array() == want_array {
+            Ok(gid)
+        } else {
+            Err(LinkError::KindMismatch {
+                module: module.clone(),
+                name: program.name(meta.name).to_owned(),
+            })
+        }
+    };
+
+    for block in &mut body.blocks {
+        for instr in &mut block.instrs {
+            match instr {
+                Instr::LoadGlobal { global, .. } | Instr::StoreGlobal { global, .. } => {
+                    if let GlobalRef::Name(sym) = *global {
+                        let gid = check_shape(resolve_global(sym)?, false)?;
+                        *global = GlobalRef::Id(gid);
+                    }
+                }
+                Instr::LoadElem { base, .. } | Instr::StoreElem { base, .. } => {
+                    if let MemBase::Global(GlobalRef::Name(sym)) = *base {
+                        let gid = check_shape(resolve_global(sym)?, true)?;
+                        *base = MemBase::Global(GlobalRef::Id(gid));
+                    }
+                }
+                Instr::Call {
+                    callee, args, dst, ..
+                } => {
+                    if let CalleeRef::Name(sym) = *callee {
+                        let rid = resolve_callee(sym)?;
+                        let meta = program.routine(rid);
+                        if meta.sig.arity() != args.len() {
+                            return Err(LinkError::ArityMismatch {
+                                module: module.clone(),
+                                callee: program.name(meta.name).to_owned(),
+                                expected: meta.sig.arity(),
+                                got: args.len(),
+                            });
+                        }
+                        if dst.is_some() && meta.sig.ret.is_none() {
+                            return Err(LinkError::ReturnMismatch {
+                                module: module.clone(),
+                                callee: program.name(meta.name).to_owned(),
+                            });
+                        }
+                        *callee = CalleeRef::Id(rid);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IlObjectBuilder;
+    use crate::module::GlobalInit;
+    use crate::types::{Signature, Ty, VarTy};
+
+    fn two_module_program() -> Vec<IlObject> {
+        let mut a = IlObjectBuilder::new("a");
+        a.global("shared", VarTy::scalar(Ty::I64), Linkage::Export, GlobalInit::Zero);
+        let mut f = a.routine("main", Signature::new(vec![], Some(Ty::I64)));
+        let x = f.const_i64(5);
+        let r = f.call("helper", vec![x]);
+        f.store_global("shared", r);
+        let v = f.load_global("shared");
+        f.ret(Some(v));
+        f.finish();
+        let obj_a = a.finish();
+
+        let mut b = IlObjectBuilder::new("b");
+        let mut g = b.routine("helper", Signature::new(vec![Ty::I64], Some(Ty::I64)));
+        let p = g.param(0);
+        let x = g.load_local(p);
+        let one = g.const_i64(1);
+        let r = g.bin(crate::BinOp::Add, x, one);
+        g.ret(Some(r));
+        g.finish();
+        let obj_b = b.finish();
+        vec![obj_a, obj_b]
+    }
+
+    #[test]
+    fn cross_module_references_resolve() {
+        let unit = link_objects(two_module_program()).unwrap();
+        assert_eq!(unit.program.modules().len(), 2);
+        assert_eq!(unit.program.routines().len(), 2);
+        let main = unit.program.find_routine("main").unwrap();
+        let body = &unit.bodies[main.index()];
+        for block in &body.blocks {
+            for instr in &block.instrs {
+                if let Instr::Call { callee, .. } = instr {
+                    assert!(matches!(callee, CalleeRef::Id(_)));
+                }
+                if let Instr::LoadGlobal { global, .. } = instr {
+                    assert!(matches!(global, GlobalRef::Id(_)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn undefined_symbol_is_reported() {
+        let mut a = IlObjectBuilder::new("a");
+        let mut f = a.routine("main", Signature::default());
+        f.call_void("missing", vec![]);
+        f.ret(None);
+        f.finish();
+        let err = link_objects(vec![a.finish()]).unwrap_err();
+        assert!(matches!(err, LinkError::Undefined { ref name, .. } if name == "missing"));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn duplicate_export_is_reported() {
+        let make = |module: &str| {
+            let mut b = IlObjectBuilder::new(module);
+            let mut f = b.routine("clash", Signature::default());
+            f.ret(None);
+            f.finish();
+            b.finish()
+        };
+        let err = link_objects(vec![make("a"), make("b")]).unwrap_err();
+        assert!(matches!(err, LinkError::DuplicateExport { ref name, .. } if name == "clash"));
+    }
+
+    #[test]
+    fn internal_symbols_do_not_clash_across_modules() {
+        let make = |module: &str| {
+            let mut b = IlObjectBuilder::new(module);
+            let mut f = b.internal_routine("local_helper", Signature::default());
+            f.ret(None);
+            f.finish();
+            let mut m = b.routine(
+                &format!("entry_{module}"),
+                Signature::default(),
+            );
+            m.call_void("local_helper", vec![]);
+            m.ret(None);
+            m.finish();
+            b.finish()
+        };
+        let unit = link_objects(vec![make("a"), make("b")]).unwrap();
+        // Each entry resolves to its own module's internal helper.
+        let entry_a = unit.program.find_routine("entry_a").unwrap();
+        let entry_b = unit.program.find_routine("entry_b").unwrap();
+        let callee_of = |rid: RoutineId| -> RoutineId {
+            let body = &unit.bodies[rid.index()];
+            for block in &body.blocks {
+                for instr in &block.instrs {
+                    if let Instr::Call { callee, .. } = instr {
+                        return callee.id();
+                    }
+                }
+            }
+            panic!("no call found");
+        };
+        let ca = callee_of(entry_a);
+        let cb = callee_of(entry_b);
+        assert_ne!(ca, cb);
+        assert_eq!(unit.program.routine(ca).module.index(), 0);
+        assert_eq!(unit.program.routine(cb).module.index(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let mut a = IlObjectBuilder::new("a");
+        let mut f = a.routine("main", Signature::default());
+        let x = f.const_i64(1);
+        f.call_void("callee", vec![x]);
+        f.ret(None);
+        f.finish();
+        let mut b = IlObjectBuilder::new("b");
+        let g = b.routine("callee", Signature::new(vec![], None));
+        g.finish();
+        let err = link_objects(vec![a.finish(), b.finish()]).unwrap_err();
+        assert!(matches!(err, LinkError::ArityMismatch { expected: 0, got: 1, .. }));
+    }
+
+    #[test]
+    fn array_scalar_mismatch_is_reported() {
+        let mut a = IlObjectBuilder::new("a");
+        a.global("table", VarTy::array(Ty::I64, 8), Linkage::Export, GlobalInit::Zero);
+        let mut f = a.routine("main", Signature::default());
+        let _ = f.load_global("table"); // scalar access to an array
+        f.ret(None);
+        f.finish();
+        let err = link_objects(vec![a.finish()]).unwrap_err();
+        assert!(matches!(err, LinkError::KindMismatch { .. }));
+    }
+}

@@ -1,0 +1,122 @@
+//! Modules, global variables, and module symbol tables.
+
+use crate::ids::{RoutineId, Sym};
+use crate::types::{Const, VarTy};
+
+/// Symbol visibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Linkage {
+    /// Visible to the whole program.
+    Export,
+    /// Module-static: visible only inside the defining module. Distinct
+    /// modules may define internal symbols with the same name.
+    Internal,
+}
+
+/// The initializer of a global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// Zero-initialized.
+    Zero,
+    /// A scalar constant.
+    Scalar(Const),
+    /// Explicit array elements (integer arrays); shorter initializers
+    /// zero-fill the tail.
+    IntArray(Vec<i64>),
+    /// Explicit array elements (float arrays).
+    FloatArray(Vec<f64>),
+}
+
+impl GlobalInit {
+    /// Approximate heap bytes of this initializer.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            GlobalInit::Zero | GlobalInit::Scalar(_) => 0,
+            GlobalInit::IntArray(v) => v.capacity() * 8,
+            GlobalInit::FloatArray(v) => v.capacity() * 8,
+        }
+    }
+}
+
+/// A global variable definition inside a module symbol table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalVar {
+    /// Variable name (symbol in the owning table's interner).
+    pub name: Sym,
+    /// Variable type.
+    pub ty: VarTy,
+    /// Visibility.
+    pub linkage: Linkage,
+    /// Initial value.
+    pub init: GlobalInit,
+}
+
+/// The transitory symbol table of one module (Figure 3): global
+/// variable definitions with their initializers. Like routine IR, it
+/// has a relocatable form and can be offloaded once the symbol-table
+/// compaction threshold engages.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ModuleSymbols {
+    /// Global variables defined by this module, in definition order.
+    /// Positions correspond to the `slot` recorded in the program's
+    /// [`crate::GlobalMeta`] entries.
+    pub globals: Vec<GlobalVar>,
+}
+
+impl ModuleSymbols {
+    /// An empty symbol table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Approximate expanded heap bytes.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.globals.capacity() * std::mem::size_of::<GlobalVar>()
+            + self.globals.iter().map(|g| g.init.heap_bytes()).sum::<usize>()
+    }
+}
+
+/// Always-resident per-module metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleInfo {
+    /// Module name (program interner).
+    pub name: Sym,
+    /// Routines defined by this module, in definition order.
+    pub routines: Vec<RoutineId>,
+    /// Source lines in the module (sum over its routines plus
+    /// declarations).
+    pub source_lines: u32,
+    /// Source language tag as reported by the frontend ("mlc", "c",
+    /// "f77", ...). HLO never inspects this — mixed-language programs
+    /// optimize uniformly (§3) — but diagnostics print it.
+    pub language: &'static str,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Ty;
+
+    #[test]
+    fn init_bytes_scale_with_payload() {
+        assert_eq!(GlobalInit::Zero.heap_bytes(), 0);
+        let arr = GlobalInit::IntArray(vec![0; 100]);
+        assert!(arr.heap_bytes() >= 800);
+    }
+
+    #[test]
+    fn symbol_table_bytes_include_initializers() {
+        let mut st = ModuleSymbols::new();
+        st.globals.push(GlobalVar {
+            name: Sym(0),
+            ty: VarTy::array(Ty::I64, 64),
+            linkage: Linkage::Export,
+            init: GlobalInit::IntArray(vec![1; 64]),
+        });
+        assert!(st.heap_bytes() > 64 * 8);
+    }
+}

@@ -1,0 +1,270 @@
+//! The program: global (always-resident) symbol information.
+
+use crate::ids::{GlobalId, ModuleId, RoutineId, Sym};
+use crate::intern::Interner;
+use crate::module::{Linkage, ModuleInfo};
+use crate::routine::RoutineMeta;
+use crate::types::VarTy;
+use std::collections::HashMap;
+
+/// Always-resident metadata for one global variable: the program
+/// symbol-table entry. The initializer stays in the owning module's
+/// transitory [`crate::ModuleSymbols`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalMeta {
+    /// Variable name (program interner).
+    pub name: Sym,
+    /// Defining module.
+    pub module: ModuleId,
+    /// Slot within the defining module's symbol table.
+    pub slot: u32,
+    /// Variable type.
+    pub ty: VarTy,
+    /// Visibility.
+    pub linkage: Linkage,
+}
+
+/// The program-wide symbol information: interner, module table, routine
+/// table, and global-variable table.
+///
+/// These are the *global objects* of Figure 3 — always memory resident;
+/// their footprint is what the `global` class of the memory accountant
+/// measures. Everything heavier hangs off NAIM pools.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    interner: Interner,
+    modules: Vec<ModuleInfo>,
+    routines: Vec<RoutineMeta>,
+    globals: Vec<GlobalMeta>,
+    /// Exported routine names to ids (never iterated).
+    routine_by_name: HashMap<Sym, RoutineId>,
+    /// Exported global names to ids (never iterated).
+    global_by_name: HashMap<Sym, GlobalId>,
+}
+
+impl Program {
+    /// An empty program.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The program string interner.
+    #[must_use]
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Exclusive access to the interner.
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// Resolves `sym` to its string.
+    #[must_use]
+    pub fn name(&self, sym: Sym) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// The module table.
+    #[must_use]
+    pub fn modules(&self) -> &[ModuleInfo] {
+        &self.modules
+    }
+
+    /// Metadata for `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    #[must_use]
+    pub fn module(&self, m: ModuleId) -> &ModuleInfo {
+        &self.modules[m.index()]
+    }
+
+    /// The routine table.
+    #[must_use]
+    pub fn routines(&self) -> &[RoutineMeta] {
+        &self.routines
+    }
+
+    /// Metadata for `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn routine(&self, r: RoutineId) -> &RoutineMeta {
+        &self.routines[r.index()]
+    }
+
+    /// Exclusive access to routine metadata (used when optimization
+    /// changes size estimates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn routine_mut(&mut self, r: RoutineId) -> &mut RoutineMeta {
+        &mut self.routines[r.index()]
+    }
+
+    /// The global-variable table.
+    #[must_use]
+    pub fn globals(&self) -> &[GlobalMeta] {
+        &self.globals
+    }
+
+    /// Metadata for `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    #[must_use]
+    pub fn global(&self, g: GlobalId) -> &GlobalMeta {
+        &self.globals[g.index()]
+    }
+
+    /// Internal mutable module access for the IL linker.
+    pub(crate) fn module_mut_internal(&mut self, m: ModuleId) -> &mut ModuleInfo {
+        &mut self.modules[m.index()]
+    }
+
+    /// Adds a module, returning its id.
+    pub fn add_module(&mut self, info: ModuleInfo) -> ModuleId {
+        let id = ModuleId::from_index(self.modules.len());
+        self.modules.push(info);
+        id
+    }
+
+    /// Adds a routine, indexing exported names for lookup.
+    pub fn add_routine(&mut self, meta: RoutineMeta) -> RoutineId {
+        let id = RoutineId::from_index(self.routines.len());
+        if meta.linkage == Linkage::Export {
+            self.routine_by_name.insert(meta.name, id);
+        }
+        self.routines.push(meta);
+        id
+    }
+
+    /// Adds a global variable, indexing exported names for lookup.
+    pub fn add_global(&mut self, meta: GlobalMeta) -> GlobalId {
+        let id = GlobalId::from_index(self.globals.len());
+        if meta.linkage == Linkage::Export {
+            self.global_by_name.insert(meta.name, id);
+        }
+        self.globals.push(meta);
+        id
+    }
+
+    /// Looks up an exported routine by name.
+    #[must_use]
+    pub fn find_routine(&self, name: &str) -> Option<RoutineId> {
+        let sym = self.interner.lookup(name)?;
+        self.routine_by_name.get(&sym).copied()
+    }
+
+    /// Looks up an exported routine by symbol.
+    #[must_use]
+    pub fn find_routine_sym(&self, sym: Sym) -> Option<RoutineId> {
+        self.routine_by_name.get(&sym).copied()
+    }
+
+    /// Looks up an exported global by symbol.
+    #[must_use]
+    pub fn find_global_sym(&self, sym: Sym) -> Option<GlobalId> {
+        self.global_by_name.get(&sym).copied()
+    }
+
+    /// The program entry routine (`main`), if defined.
+    #[must_use]
+    pub fn main_routine(&self) -> Option<RoutineId> {
+        self.find_routine("main")
+    }
+
+    /// Total source lines across all modules (Figure 4/6 x-axis).
+    #[must_use]
+    pub fn total_source_lines(&self) -> u64 {
+        self.modules.iter().map(|m| u64::from(m.source_lines)).sum()
+    }
+
+    /// Approximate heap bytes of the always-resident program symbol
+    /// information (the `global` accounting class).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.interner.heap_bytes()
+            + self.modules.capacity() * std::mem::size_of::<ModuleInfo>()
+            + self
+                .modules
+                .iter()
+                .map(|m| m.routines.capacity() * 4)
+                .sum::<usize>()
+            + self.routines.capacity() * std::mem::size_of::<RoutineMeta>()
+            + self
+                .routines
+                .iter()
+                .map(|r| r.sig.params.capacity())
+                .sum::<usize>()
+            + self.globals.capacity() * std::mem::size_of::<GlobalMeta>()
+            + (self.routine_by_name.len() + self.global_by_name.len()) * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Signature;
+
+    #[test]
+    fn exported_names_resolve_internal_do_not() {
+        let mut p = Program::new();
+        let m = p.add_module(ModuleInfo {
+            name: Sym(0),
+            routines: vec![],
+            source_lines: 10,
+            language: "mlc",
+        });
+        let pub_name = p.interner_mut().intern("visible");
+        let priv_name = p.interner_mut().intern("hidden");
+        let r_pub = p.add_routine(RoutineMeta {
+            name: pub_name,
+            module: m,
+            sig: Signature::default(),
+            linkage: Linkage::Export,
+            source_lines: 5,
+            il_size: 3,
+        });
+        let _r_priv = p.add_routine(RoutineMeta {
+            name: priv_name,
+            module: m,
+            sig: Signature::default(),
+            linkage: Linkage::Internal,
+            source_lines: 5,
+            il_size: 3,
+        });
+        assert_eq!(p.find_routine("visible"), Some(r_pub));
+        assert_eq!(p.find_routine("hidden"), None);
+        assert_eq!(p.total_source_lines(), 10);
+    }
+
+    #[test]
+    fn main_lookup() {
+        let mut p = Program::new();
+        assert!(p.main_routine().is_none());
+        let m = p.add_module(ModuleInfo {
+            name: Sym(0),
+            routines: vec![],
+            source_lines: 0,
+            language: "mlc",
+        });
+        let main_sym = p.interner_mut().intern("main");
+        let r = p.add_routine(RoutineMeta {
+            name: main_sym,
+            module: m,
+            sig: Signature::default(),
+            linkage: Linkage::Export,
+            source_lines: 1,
+            il_size: 1,
+        });
+        assert_eq!(p.main_routine(), Some(r));
+    }
+}

@@ -1,0 +1,658 @@
+//! Local (intraprocedural) IL optimizations.
+//!
+//! These are the +O2-level optimizations every routine gets regardless
+//! of CMO: per-block constant folding/propagation (through virtual
+//! registers and local scalars — MLC has no pointers, so locals cannot
+//! alias), copy propagation, dead-code elimination, redundant-branch
+//! elimination, and unreachable-block removal. They also run *after*
+//! inlining, which is where the paper's CMO wins materialize: inlined
+//! constants feed folding, and inlined branches become redundant.
+
+use cmo_ir::{
+    BinOp, Block, BlockData, Const, Instr, Local, RoutineBody, Terminator, UnOp, VReg,
+};
+use std::collections::HashMap;
+
+/// Statistics from one optimization run, for diagnostics and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Instructions replaced by constants.
+    pub folded: usize,
+    /// Copies propagated.
+    pub copies: usize,
+    /// Dead instructions removed.
+    pub dead: usize,
+    /// Conditional branches turned unconditional.
+    pub branches: usize,
+    /// Unreachable blocks removed.
+    pub unreachable: usize,
+}
+
+fn fold_bin(op: BinOp, a: Const, b: Const) -> Option<Const> {
+    use Const::{F, I};
+    Some(match (op, a, b) {
+        (BinOp::Add, I(x), I(y)) => I(x.wrapping_add(y)),
+        (BinOp::Sub, I(x), I(y)) => I(x.wrapping_sub(y)),
+        (BinOp::Mul, I(x), I(y)) => I(x.wrapping_mul(y)),
+        (BinOp::Div, I(x), I(y)) => I(if y == 0 { 0 } else { x.wrapping_div(y) }),
+        (BinOp::Rem, I(x), I(y)) => I(if y == 0 { 0 } else { x.wrapping_rem(y) }),
+        (BinOp::And, I(x), I(y)) => I(x & y),
+        (BinOp::Or, I(x), I(y)) => I(x | y),
+        (BinOp::Xor, I(x), I(y)) => I(x ^ y),
+        (BinOp::Shl, I(x), I(y)) => I(x.wrapping_shl(y as u32 & 63)),
+        (BinOp::Shr, I(x), I(y)) => I(x.wrapping_shr(y as u32 & 63)),
+        (BinOp::Eq, I(x), I(y)) => I(i64::from(x == y)),
+        (BinOp::Ne, I(x), I(y)) => I(i64::from(x != y)),
+        (BinOp::Lt, I(x), I(y)) => I(i64::from(x < y)),
+        (BinOp::Le, I(x), I(y)) => I(i64::from(x <= y)),
+        (BinOp::FAdd, F(x), F(y)) => F(x + y),
+        (BinOp::FSub, F(x), F(y)) => F(x - y),
+        (BinOp::FMul, F(x), F(y)) => F(x * y),
+        (BinOp::FDiv, F(x), F(y)) => F(x / y),
+        (BinOp::FLt, F(x), F(y)) => I(i64::from(x < y)),
+        (BinOp::FEq, F(x), F(y)) => I(i64::from(x == y)),
+        _ => return None,
+    })
+}
+
+fn fold_un(op: UnOp, v: Const) -> Option<Const> {
+    use Const::{F, I};
+    Some(match (op, v) {
+        (UnOp::Neg, I(x)) => I(x.wrapping_neg()),
+        (UnOp::Not, I(x)) => I(i64::from(x == 0)),
+        (UnOp::FNeg, F(x)) => F(-x),
+        (UnOp::I2F, I(x)) => F(x as f64),
+        (UnOp::F2I, F(x)) => I(x as i64),
+        _ => return None,
+    })
+}
+
+/// Per-block constant and copy propagation.
+///
+/// Returns the number of folds and propagated copies. Virtual-register
+/// and local-scalar values are tracked within each block; both maps are
+/// conservatively cleared at block entry (vregs may be live across
+/// blocks after inlining, but then they are not redefined here, so
+/// per-block tracking of *definitions seen in this block* is sound).
+/// Local scalars also forward the last stored vreg (`store l, v; ... ;
+/// x = load l` becomes `x = mov v`), which is what makes inlined
+/// argument traffic disappear after block merging.
+pub fn const_and_copy_prop(body: &mut RoutineBody) -> OptStats {
+    let mut stats = OptStats::default();
+    for block in &mut body.blocks {
+        // Known constant value of a vreg / local, within this block.
+        let mut vconst: HashMap<VReg, Const> = HashMap::new();
+        let mut lconst: HashMap<Local, Const> = HashMap::new();
+        // Last vreg stored to a local, within this block.
+        let mut lcopy: HashMap<Local, VReg> = HashMap::new();
+        // Copy chains: vreg -> earlier equivalent vreg.
+        let mut copy_of: HashMap<VReg, VReg> = HashMap::new();
+
+        let resolve = |copy_of: &HashMap<VReg, VReg>, mut r: VReg| -> VReg {
+            let mut hops = 0;
+            while let Some(&s) = copy_of.get(&r) {
+                r = s;
+                hops += 1;
+                if hops > 64 {
+                    break;
+                }
+            }
+            r
+        };
+
+        for instr in &mut block.instrs {
+            // Rewrite sources through copy chains first.
+            let before = instr.clone();
+            match instr {
+                Instr::Bin { lhs, rhs, .. } => {
+                    *lhs = resolve(&copy_of, *lhs);
+                    *rhs = resolve(&copy_of, *rhs);
+                }
+                Instr::Un { src, .. }
+                | Instr::Mov { src, .. }
+                | Instr::StoreLocal { src, .. }
+                | Instr::StoreGlobal { src, .. }
+                | Instr::Output { src } => *src = resolve(&copy_of, *src),
+                Instr::LoadElem { index, .. } => *index = resolve(&copy_of, *index),
+                Instr::StoreElem { index, src, .. } => {
+                    *index = resolve(&copy_of, *index);
+                    *src = resolve(&copy_of, *src);
+                }
+                Instr::Call { args, .. } => {
+                    for a in args.iter_mut() {
+                        *a = resolve(&copy_of, *a);
+                    }
+                }
+                _ => {}
+            }
+            if *instr != before {
+                stats.copies += 1;
+            }
+
+            // A new definition invalidates stale facts about dst.
+            if let Some(d) = instr.def() {
+                vconst.remove(&d);
+                copy_of.remove(&d);
+                // Anything copying from d is now stale.
+                copy_of.retain(|_, v| *v != d);
+                lcopy.retain(|_, v| *v != d);
+            }
+
+            // Learn facts / fold.
+            match instr {
+                Instr::Const { dst, value } => {
+                    vconst.insert(*dst, *value);
+                }
+                Instr::Mov { dst, src } => {
+                    if let Some(&c) = vconst.get(src) {
+                        vconst.insert(*dst, c);
+                        *instr = Instr::Const {
+                            dst: *dst,
+                            value: c,
+                        };
+                        stats.folded += 1;
+                    } else {
+                        copy_of.insert(*dst, *src);
+                    }
+                }
+                Instr::Bin { dst, op, lhs, rhs } => {
+                    if let (Some(&a), Some(&b)) = (vconst.get(lhs), vconst.get(rhs)) {
+                        if let Some(c) = fold_bin(*op, a, b) {
+                            vconst.insert(*dst, c);
+                            *instr = Instr::Const {
+                                dst: *dst,
+                                value: c,
+                            };
+                            stats.folded += 1;
+                        }
+                    }
+                }
+                Instr::Un { dst, op, src } => {
+                    if let Some(&v) = vconst.get(src) {
+                        if let Some(c) = fold_un(*op, v) {
+                            vconst.insert(*dst, c);
+                            *instr = Instr::Const {
+                                dst: *dst,
+                                value: c,
+                            };
+                            stats.folded += 1;
+                        }
+                    }
+                }
+                Instr::StoreLocal { local, src } => {
+                    match vconst.get(src) {
+                        Some(&c) => {
+                            lconst.insert(*local, c);
+                            lcopy.remove(local);
+                        }
+                        None => {
+                            lconst.remove(local);
+                            lcopy.insert(*local, *src);
+                        }
+                    };
+                }
+                Instr::LoadLocal { dst, local } => {
+                    if let Some(&c) = lconst.get(local) {
+                        vconst.insert(*dst, c);
+                        *instr = Instr::Const {
+                            dst: *dst,
+                            value: c,
+                        };
+                        stats.folded += 1;
+                    } else if let Some(&v) = lcopy.get(local) {
+                        let dst = *dst;
+                        *instr = Instr::Mov { dst, src: v };
+                        copy_of.insert(dst, v);
+                        stats.copies += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Fold constant branch conditions.
+        if let Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } = block.term
+        {
+            let cond = resolve(&copy_of, cond);
+            if let Some(&c) = vconst.get(&cond) {
+                block.term = Terminator::Jump(if c.is_zero() { else_bb } else { then_bb });
+                stats.branches += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Straightens control flow: threads jumps through empty blocks,
+/// normalizes branches with equal targets into jumps, and merges a
+/// block into its unique `Jump` predecessor. Merging is what exposes
+/// inlined callee entries to the per-block propagator — the pre-call
+/// block ends in a jump to the single-predecessor callee entry, and
+/// after merging, constant arguments flow into the callee body.
+pub fn merge_blocks(body: &mut RoutineBody) -> OptStats {
+    let mut stats = OptStats::default();
+    let n = body.blocks.len();
+
+    // Branch with both edges equal -> jump.
+    for block in &mut body.blocks {
+        if let Terminator::Branch {
+            then_bb, else_bb, ..
+        } = block.term
+        {
+            if then_bb == else_bb {
+                block.term = Terminator::Jump(then_bb);
+                stats.branches += 1;
+            }
+        }
+    }
+
+    // Jump threading: resolve chains of empty jump-only blocks.
+    let thread = |mut b: Block, body: &RoutineBody| -> Block {
+        let mut hops = 0;
+        loop {
+            let target = &body.blocks[b.index()];
+            match target.term {
+                Terminator::Jump(next)
+                    if target.instrs.is_empty() && next != b && hops < n =>
+                {
+                    b = next;
+                    hops += 1;
+                }
+                _ => return b,
+            }
+        }
+    };
+    for i in 0..n {
+        let term = body.blocks[i].term.clone();
+        body.blocks[i].term = match term {
+            Terminator::Jump(t) => Terminator::Jump(thread(t, body)),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => Terminator::Branch {
+                cond,
+                then_bb: thread(then_bb, body),
+                else_bb: thread(else_bb, body),
+            },
+            r @ Terminator::Return(_) => r,
+        };
+    }
+
+    // Merge single-predecessor jump targets into their predecessor.
+    let mut pred_count = vec![0usize; n];
+    for block in &body.blocks {
+        for s in block.term.successors() {
+            pred_count[s.index()] += 1;
+        }
+    }
+    for a in 0..n {
+        while let Terminator::Jump(b) = body.blocks[a].term {
+            if b.index() == a || b.index() == 0 || pred_count[b.index()] != 1 {
+                break;
+            }
+            let merged = std::mem::take(&mut body.blocks[b.index()].instrs);
+            let term = std::mem::replace(
+                &mut body.blocks[b.index()].term,
+                Terminator::Return(None),
+            );
+            // Leave b as an unreachable husk; remove_unreachable
+            // renumbers later.
+            pred_count[b.index()] = 0;
+            body.blocks[a].instrs.extend(merged);
+            body.blocks[a].term = term;
+            stats.unreachable += 1;
+        }
+    }
+    stats
+}
+
+/// Removes instructions whose results are never used anywhere in the
+/// routine and which have no side effects, plus stores to scalar
+/// locals that are never loaded (after inlining and propagation,
+/// parameter-passing slots die this way). Iterates to a fixed point.
+pub fn dead_code_elim(body: &mut RoutineBody) -> OptStats {
+    let mut stats = OptStats::default();
+    loop {
+        let mut used = vec![false; body.n_vregs as usize];
+        let mut mark = |r: VReg| {
+            if let Some(slot) = used.get_mut(r.index()) {
+                *slot = true;
+            }
+        };
+        // Scalar locals that are ever loaded; array locals are kept
+        // conservatively (any element access pins the whole array).
+        let mut local_read = vec![false; body.locals.len()];
+        for (i, decl) in body.locals.iter().enumerate() {
+            if decl.ty.is_array() {
+                local_read[i] = true;
+            }
+        }
+        for block in &body.blocks {
+            for instr in &block.instrs {
+                for u in instr.uses() {
+                    mark(u);
+                }
+                if let Instr::LoadLocal { local, .. } = instr {
+                    local_read[local.index()] = true;
+                }
+            }
+            if let Some(u) = block.term.use_reg() {
+                mark(u);
+            }
+        }
+        let mut removed = 0;
+        for block in &mut body.blocks {
+            block.instrs.retain(|i| {
+                let dead = match i {
+                    Instr::StoreLocal { local, .. } => !local_read[local.index()],
+                    _ => {
+                        !i.has_side_effects()
+                            && i
+                                .def()
+                                .is_some_and(|d| !used.get(d.index()).copied().unwrap_or(true))
+                    }
+                };
+                if dead {
+                    removed += 1;
+                }
+                !dead
+            });
+        }
+        stats.dead += removed;
+        if removed == 0 {
+            return stats;
+        }
+    }
+}
+
+/// Removes blocks unreachable from the entry, remapping block ids and
+/// (when supplied) the maintained block-count vector — profile counts
+/// live in the pre-optimization block-id domain and must follow the
+/// blocks through every structural transformation (§3: "the compiler
+/// correlates profile information from the database with current
+/// program structures").
+pub fn remove_unreachable(body: &mut RoutineBody, counts: Option<&mut Vec<u64>>) -> OptStats {
+    let mut stats = OptStats::default();
+    let n = body.blocks.len();
+    let mut reachable = vec![false; n];
+    let mut work = vec![Block(0)];
+    while let Some(b) = work.pop() {
+        if reachable[b.index()] {
+            continue;
+        }
+        reachable[b.index()] = true;
+        for s in body.blocks[b.index()].term.successors() {
+            if !reachable[s.index()] {
+                work.push(s);
+            }
+        }
+    }
+    if reachable.iter().all(|&r| r) {
+        return stats;
+    }
+    let mut remap = vec![Block(u32::MAX); n];
+    let mut new_blocks: Vec<BlockData> = Vec::new();
+    for (i, keep) in reachable.iter().enumerate() {
+        if *keep {
+            remap[i] = Block::from_index(new_blocks.len());
+            new_blocks.push(body.blocks[i].clone());
+        } else {
+            stats.unreachable += 1;
+        }
+    }
+    if let Some(counts) = counts {
+        counts.resize(n, 0);
+        let mut new_counts = vec![0u64; new_blocks.len()];
+        for (i, keep) in reachable.iter().enumerate() {
+            if *keep {
+                new_counts[remap[i].index()] = counts[i];
+            }
+        }
+        *counts = new_counts;
+    }
+    for block in &mut new_blocks {
+        block.term = match block.term.clone() {
+            Terminator::Jump(b) => Terminator::Jump(remap[b.index()]),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => Terminator::Branch {
+                cond,
+                then_bb: remap[then_bb.index()],
+                else_bb: remap[else_bb.index()],
+            },
+            r @ Terminator::Return(_) => r,
+        };
+    }
+    body.blocks = new_blocks;
+    stats
+}
+
+/// The full local optimization pipeline, iterated until quiescent.
+pub fn optimize(body: &mut RoutineBody) -> OptStats {
+    optimize_with_counts(body, None)
+}
+
+/// [`optimize`], additionally maintaining a block-count vector through
+/// every structural change so profile-guided layout downstream sees
+/// correlated data.
+pub fn optimize_with_counts(body: &mut RoutineBody, mut counts: Option<&mut Vec<u64>>) -> OptStats {
+    let mut total = OptStats::default();
+    for _ in 0..12 {
+        let m = merge_blocks(body);
+        let a = const_and_copy_prop(body);
+        let b = dead_code_elim(body);
+        let c = remove_unreachable(body, counts.as_deref_mut());
+        total.folded += a.folded;
+        total.copies += a.copies;
+        total.branches += a.branches + m.branches;
+        total.dead += b.dead;
+        total.unreachable += c.unreachable + m.unreachable;
+        if m.unreachable + m.branches + a.folded + a.branches + b.dead + c.unreachable == 0 {
+            break;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmo_frontend::compile_module;
+    use cmo_ir::link_objects;
+
+    fn body_of(src: &str) -> RoutineBody {
+        let obj = compile_module("m", src).unwrap();
+        let unit = link_objects(vec![obj]).unwrap();
+        let main = unit.program.find_routine("main").unwrap();
+        unit.bodies[main.index()].clone()
+    }
+
+    #[test]
+    fn constants_fold_through_locals() {
+        let mut body = body_of(
+            "fn main() -> int { var x: int = 6; var y: int = 7; return x * y; }",
+        );
+        let before = body.instr_count();
+        optimize(&mut body);
+        // Final shape: stores remain (locals could be observed by a
+        // debugger; DCE of dead stores is not done), but the multiply
+        // folds to a constant.
+        let has_mul = body
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i, Instr::Bin { op: BinOp::Mul, .. }));
+        assert!(!has_mul);
+        assert!(body.instr_count() <= before);
+        let has_42 = body
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i, Instr::Const { value: Const::I(42), .. }));
+        assert!(has_42);
+    }
+
+    #[test]
+    fn constant_branch_becomes_jump_and_prunes_blocks() {
+        let mut body = body_of(
+            "fn main() -> int { if (1 < 2) { return 10; } else { return 20; } }",
+        );
+        let blocks_before = body.blocks.len();
+        let stats = optimize(&mut body);
+        assert!(stats.branches >= 1);
+        assert!(body.blocks.len() < blocks_before);
+        assert!(body
+            .blocks
+            .iter()
+            .all(|b| !matches!(b.term, Terminator::Branch { .. })));
+    }
+
+    #[test]
+    fn dead_code_is_removed() {
+        let mut body = body_of("fn main() -> int { var x: int = 3 + 4; return 1; }");
+        let stats = optimize(&mut body);
+        assert!(stats.dead > 0);
+    }
+
+    #[test]
+    fn side_effects_are_preserved() {
+        let src = r#"
+            extern fn effect() -> int;
+            fn main() -> int { effect(); input(); return 2; }
+        "#;
+        let obj = compile_module("m", src).unwrap();
+        let helper = compile_module("h", "fn effect() -> int { output(9); return 0; }").unwrap();
+        let unit = link_objects(vec![obj, helper]).unwrap();
+        let main = unit.program.find_routine("main").unwrap();
+        let mut body = unit.bodies[main.index()].clone();
+        optimize(&mut body);
+        let kinds: Vec<bool> = body
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .map(Instr::has_side_effects)
+            .collect();
+        assert_eq!(kinds.iter().filter(|&&k| k).count(), 2, "call + input stay");
+    }
+
+    #[test]
+    fn loops_survive_optimization() {
+        let mut body = body_of(
+            "fn main() -> int { var i: int = 0; var s: int = 0; while (i < input()) { s = s + i; i = i + 1; } return s; }",
+        );
+        optimize(&mut body);
+        // The loop's backedge must still exist.
+        let has_branch = body
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::Branch { .. }));
+        assert!(has_branch);
+    }
+
+    #[test]
+    fn copy_chains_collapse() {
+        let mut body = RoutineBody::new();
+        let a = body.new_vreg();
+        let b = body.new_vreg();
+        let c = body.new_vreg();
+        let mut blk = BlockData::new(Terminator::Return(Some(c)));
+        blk.instrs.push(Instr::Const {
+            dst: a,
+            value: Const::I(5),
+        });
+        blk.instrs.push(Instr::Mov { dst: b, src: a });
+        blk.instrs.push(Instr::Mov { dst: c, src: b });
+        body.blocks.push(blk);
+        optimize(&mut body);
+        // All three become constants; DCE keeps only c's def (used by
+        // the return).
+        assert!(body.blocks[0]
+            .instrs
+            .iter()
+            .all(|i| matches!(i, Instr::Const { .. })));
+        assert_eq!(body.blocks[0].instrs.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod count_tests {
+    use super::*;
+    use cmo_frontend::compile_module;
+    use cmo_ir::link_objects;
+
+    fn body_of(src: &str) -> RoutineBody {
+        let obj = compile_module("m", src).unwrap();
+        let unit = link_objects(vec![obj]).unwrap();
+        let main = unit.program.find_routine("main").unwrap();
+        unit.bodies[main.index()].clone()
+    }
+
+    #[test]
+    fn counts_follow_blocks_through_unreachable_removal() {
+        // A constant branch leaves one arm unreachable; the surviving
+        // blocks must keep their counts under the renumbering.
+        let mut body = body_of(
+            r#"
+            fn main() -> int {
+                var acc: int = 0;
+                if (1 == 2) { acc = 111; } else { acc = 222; }
+                var i: int = 0;
+                while (i < 3) { acc = acc + i; i = i + 1; }
+                return acc;
+            }
+            "#,
+        );
+        // Tag each original block with a distinguishable count.
+        let mut counts: Vec<u64> = (0..body.blocks.len() as u64).map(|i| 1000 + i).collect();
+        let n_before = body.blocks.len();
+        optimize_with_counts(&mut body, Some(&mut counts));
+        assert!(body.blocks.len() < n_before, "something was removed/merged");
+        assert_eq!(
+            counts.len(),
+            body.blocks.len(),
+            "counts vector tracks the block vector"
+        );
+        // The entry keeps its original tag.
+        assert_eq!(counts[0], 1000);
+        // Every surviving count is one of the original tags (no
+        // invented values).
+        for &c in &counts {
+            assert!((1000..1000 + n_before as u64).contains(&c), "bogus count {c}");
+        }
+    }
+
+    #[test]
+    fn merging_preserves_loop_structure_counts() {
+        let mut body = body_of(
+            "fn main() -> int { var i: int = 0; while (i < 9) { i = i + 1; } return i; }",
+        );
+        let mut counts: Vec<u64> = vec![1, 10, 9, 1, 1, 1][..body.blocks.len().min(6)].to_vec();
+        counts.resize(body.blocks.len(), 1);
+        optimize_with_counts(&mut body, Some(&mut counts));
+        assert_eq!(counts.len(), body.blocks.len());
+        // The loop survives: some block still has the hot count.
+        assert!(counts.contains(&10) || counts.contains(&9));
+    }
+
+    #[test]
+    fn optimize_without_counts_is_equivalent_code() {
+        let make = || {
+            body_of(
+                "fn main() -> int { var a: int = 2 * 3; if (a == 6) { return a; } return 0; }",
+            )
+        };
+        let mut with = make();
+        let mut counts = vec![1; with.blocks.len()];
+        optimize_with_counts(&mut with, Some(&mut counts));
+        let mut without = make();
+        optimize(&mut without);
+        assert_eq!(with, without, "count maintenance must not affect code");
+    }
+}

@@ -1,0 +1,228 @@
+//! Byte accounting for optimizer data structures.
+//!
+//! The paper's memory results (Figures 4 and 5, and the 1.7 KB/line →
+//! 0.9 KB/line history of §8) are measurements of optimizer heap
+//! occupancy. This reproduction measures the same quantity explicitly:
+//! every global, transitory, and derived structure reports its size to a
+//! [`MemoryAccountant`], which tracks current and peak occupancy per
+//! class. This is deterministic and portable, unlike process RSS.
+
+use std::fmt;
+
+/// The three storage classes of §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemClass {
+    /// Always-resident program-wide structures (program symbol table,
+    /// call graph).
+    Global,
+    /// Module symbol tables and routine IR in expanded form.
+    TransitoryExpanded,
+    /// Relocatable (compacted) images resident in memory.
+    TransitoryCompact,
+    /// Recomputable analysis results (data flow, dominators, loops).
+    Derived,
+}
+
+impl MemClass {
+    /// All classes in display order.
+    pub const ALL: [MemClass; 4] = [
+        MemClass::Global,
+        MemClass::TransitoryExpanded,
+        MemClass::TransitoryCompact,
+        MemClass::Derived,
+    ];
+
+    fn slot(self) -> usize {
+        match self {
+            MemClass::Global => 0,
+            MemClass::TransitoryExpanded => 1,
+            MemClass::TransitoryCompact => 2,
+            MemClass::Derived => 3,
+        }
+    }
+}
+
+impl fmt::Display for MemClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemClass::Global => "global",
+            MemClass::TransitoryExpanded => "transitory/expanded",
+            MemClass::TransitoryCompact => "transitory/compact",
+            MemClass::Derived => "derived",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A point-in-time view of accounted memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemorySnapshot {
+    /// Current bytes per class, indexed by [`MemClass::ALL`] order.
+    pub current: [usize; 4],
+    /// Peak bytes per class since construction or the last reset.
+    pub peak: [usize; 4],
+    /// Peak total across all classes (the paper's "memory usage" axis).
+    pub peak_total: usize,
+}
+
+impl MemorySnapshot {
+    /// Current total across all classes.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.current.iter().sum()
+    }
+
+    /// Current bytes in `class`.
+    #[must_use]
+    pub fn class(&self, class: MemClass) -> usize {
+        self.current[class.slot()]
+    }
+
+    /// Peak bytes in `class`.
+    #[must_use]
+    pub fn peak_class(&self, class: MemClass) -> usize {
+        self.peak[class.slot()]
+    }
+}
+
+impl fmt::Display for MemorySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total={}B (peak {}B):",
+            self.total(),
+            self.peak_total
+        )?;
+        for class in MemClass::ALL {
+            write!(f, " {}={}B", class, self.class(class))?;
+        }
+        Ok(())
+    }
+}
+
+/// Tracks current and peak accounted bytes per storage class.
+///
+/// # Example
+///
+/// ```
+/// use cmo_naim::{MemoryAccountant, MemClass};
+/// let mut acct = MemoryAccountant::new();
+/// acct.add(MemClass::Global, 100);
+/// acct.add(MemClass::Derived, 50);
+/// acct.remove(MemClass::Derived, 50);
+/// let snap = acct.snapshot();
+/// assert_eq!(snap.total(), 100);
+/// assert_eq!(snap.peak_total, 150);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemoryAccountant {
+    snap: MemorySnapshot,
+}
+
+impl MemoryAccountant {
+    /// Creates an accountant with all counters at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` newly occupied in `class`.
+    pub fn add(&mut self, class: MemClass, bytes: usize) {
+        let s = class.slot();
+        self.snap.current[s] += bytes;
+        self.snap.peak[s] = self.snap.peak[s].max(self.snap.current[s]);
+        self.snap.peak_total = self.snap.peak_total.max(self.snap.total());
+    }
+
+    /// Records `bytes` released from `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if more bytes are removed than are
+    /// currently accounted, which indicates an accounting bug.
+    pub fn remove(&mut self, class: MemClass, bytes: usize) {
+        let s = class.slot();
+        debug_assert!(
+            self.snap.current[s] >= bytes,
+            "accounting underflow in {class}: removing {bytes} from {}",
+            self.snap.current[s]
+        );
+        self.snap.current[s] = self.snap.current[s].saturating_sub(bytes);
+    }
+
+    /// Adjusts `class` by a signed delta.
+    pub fn adjust(&mut self, class: MemClass, delta: isize) {
+        if delta >= 0 {
+            self.add(class, delta as usize);
+        } else {
+            self.remove(class, delta.unsigned_abs());
+        }
+    }
+
+    /// Current total bytes across all classes.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.snap.total()
+    }
+
+    /// Current bytes in `class`.
+    #[must_use]
+    pub fn class(&self, class: MemClass) -> usize {
+        self.snap.class(class)
+    }
+
+    /// Returns a copy of the current snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MemorySnapshot {
+        self.snap
+    }
+
+    /// Resets peak tracking to the current occupancy (current counters
+    /// are preserved).
+    pub fn reset_peaks(&mut self) {
+        self.snap.peak = self.snap.current;
+        self.snap.peak_total = self.snap.total();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peaks_track_high_water_mark() {
+        let mut a = MemoryAccountant::new();
+        a.add(MemClass::TransitoryExpanded, 1000);
+        a.remove(MemClass::TransitoryExpanded, 600);
+        a.add(MemClass::TransitoryCompact, 100);
+        let s = a.snapshot();
+        assert_eq!(s.class(MemClass::TransitoryExpanded), 400);
+        assert_eq!(s.peak_class(MemClass::TransitoryExpanded), 1000);
+        assert_eq!(s.peak_total, 1000);
+        assert_eq!(s.total(), 500);
+    }
+
+    #[test]
+    fn adjust_handles_both_signs() {
+        let mut a = MemoryAccountant::new();
+        a.adjust(MemClass::Derived, 128);
+        a.adjust(MemClass::Derived, -28);
+        assert_eq!(a.class(MemClass::Derived), 100);
+    }
+
+    #[test]
+    fn reset_peaks_rebases() {
+        let mut a = MemoryAccountant::new();
+        a.add(MemClass::Global, 500);
+        a.remove(MemClass::Global, 400);
+        a.reset_peaks();
+        assert_eq!(a.snapshot().peak_total, 100);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = MemoryAccountant::new();
+        assert!(!format!("{}", a.snapshot()).is_empty());
+        assert!(!format!("{}", MemClass::Global).is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Error types for the NAIM substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while decoding a relocatable (compacted) pool image.
+///
+/// Decode failures indicate a corrupted repository or an encoder/decoder
+/// mismatch; they are not expected in normal operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The decoder ran off the end of the byte image.
+    UnexpectedEof {
+        /// Byte offset at which more input was required.
+        offset: usize,
+    },
+    /// A varint ran longer than the maximum encodable width.
+    VarintOverflow {
+        /// Byte offset of the offending varint.
+        offset: usize,
+    },
+    /// A tag byte did not correspond to any known object kind.
+    BadTag {
+        /// The unrecognized tag value.
+        tag: u8,
+        /// Byte offset of the tag.
+        offset: usize,
+    },
+    /// A structural invariant of the encoded form was violated.
+    Corrupt {
+        /// Human-readable description of the violation.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { offset } => {
+                write!(f, "unexpected end of relocatable image at byte {offset}")
+            }
+            DecodeError::VarintOverflow { offset } => {
+                write!(f, "varint wider than 64 bits at byte {offset}")
+            }
+            DecodeError::BadTag { tag, offset } => {
+                write!(f, "unknown object tag {tag:#x} at byte {offset}")
+            }
+            DecodeError::Corrupt { what } => write!(f, "corrupt relocatable image: {what}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Top-level error for loader and repository operations.
+#[derive(Debug)]
+pub enum NaimError {
+    /// Re-expanding a pool from its relocatable image failed.
+    Decode(DecodeError),
+    /// The disk repository could not be read or written.
+    Repository(std::io::Error),
+    /// A pool id did not name any pool known to the loader.
+    UnknownPool {
+        /// The offending pool id (raw index).
+        pool: u32,
+    },
+    /// The accounted heap exceeded the hard budget and no NAIM measure
+    /// could reclaim enough space (mirrors the paper's 1 GB heap-limit
+    /// compile failures when NAIM/selectivity are disabled).
+    OutOfMemory {
+        /// Bytes the compilation attempted to occupy.
+        wanted: usize,
+        /// The configured hard budget.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for NaimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NaimError::Decode(e) => write!(f, "decode failure: {e}"),
+            NaimError::Repository(e) => write!(f, "repository I/O failure: {e}"),
+            NaimError::UnknownPool { pool } => write!(f, "unknown pool id {pool}"),
+            NaimError::OutOfMemory { wanted, budget } => write!(
+                f,
+                "optimizer heap exhausted: needed {wanted} bytes with a hard budget of {budget}"
+            ),
+        }
+    }
+}
+
+impl Error for NaimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NaimError::Decode(e) => Some(e),
+            NaimError::Repository(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for NaimError {
+    fn from(e: DecodeError) -> Self {
+        NaimError::Decode(e)
+    }
+}
+
+impl From<std::io::Error> for NaimError {
+    fn from(e: std::io::Error) -> Self {
+        NaimError::Repository(e)
+    }
+}

@@ -1,0 +1,808 @@
+//! The loader: state management for transitory object pools (§4.2–4.3).
+//!
+//! The loader mediates all access to transitory pools (routine IR and
+//! module symbol tables). Clients simply request objects and request
+//! that unneeded pools be unloaded; whether a pool is actually
+//! compacted, offloaded, or kept expanded in the unload-pending cache is
+//! decided internally from the configured memory [`Thresholds`] — the
+//! scheme is transparent to clients, exactly as in §4.3.
+
+use crate::accounting::{MemClass, MemoryAccountant, MemorySnapshot};
+use crate::encode::{Decoder, Encoder};
+use crate::error::{DecodeError, NaimError};
+use crate::repository::{MemBackend, RepoBackend, RepoHandle, Repository};
+
+/// An object that has both expanded and relocatable forms (§4.2.1).
+///
+/// `compact` must write a self-contained image from which `uncompact`
+/// rebuilds an equivalent expanded object. Derived data (analysis
+/// results) must *not* be encoded: it is recompute-only by the §4.1
+/// discipline, and omitting it is where most of the compaction win
+/// comes from.
+pub trait Relocatable: Sized {
+    /// Serializes this object into relocatable form, swizzling
+    /// references to [`crate::Pid`]s.
+    fn compact(&self, enc: &mut Encoder);
+
+    /// Rebuilds the expanded form from a relocatable image (eager
+    /// swizzling).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the image is corrupt.
+    fn uncompact(dec: &mut Decoder<'_>) -> Result<Self, DecodeError>;
+
+    /// Approximate heap bytes occupied by the expanded form, used for
+    /// byte accounting.
+    fn expanded_bytes(&self) -> usize;
+}
+
+/// Identifies a pool registered with a [`Loader`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PoolId(u32);
+
+impl PoolId {
+    /// Raw index of this pool.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a pool contains, which determines the threshold that governs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PoolKind {
+    /// Routine intermediate representation.
+    Ir,
+    /// A module symbol table.
+    SymTab,
+}
+
+/// Residency state of a pool, as visible to diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolState {
+    /// Expanded in memory and actively usable.
+    Expanded,
+    /// Expanded but unload-pending: sitting in the loader's cache of
+    /// most-recently-used pools awaiting possible compaction.
+    UnloadPending,
+    /// Compacted to relocatable form, resident in memory.
+    Compact,
+    /// Offloaded to the disk repository.
+    Offloaded,
+}
+
+/// Progressive NAIM capability levels (the four configurations of
+/// Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NaimLevel {
+    /// Everything stays expanded (HP-UX 9.0 behaviour, 1.7 KB/line).
+    Off,
+    /// IR pools may be compacted (HP-UX 10.01 behaviour, 0.9 KB/line).
+    CompactIr,
+    /// Symbol-table pools may be compacted too.
+    CompactAll,
+    /// Compacted pools may additionally be offloaded to disk.
+    Offload,
+}
+
+/// Fractions of the memory budget at which each NAIM measure engages
+/// (§4.3: "a series of memory thresholds ... turn on more and more of
+/// the NAIM functionality").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Engage IR compaction above this fraction of the budget.
+    pub ir_compaction: f64,
+    /// Engage symbol-table compaction above this fraction.
+    pub st_compaction: f64,
+    /// Engage disk offloading above this fraction.
+    pub offload: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            ir_compaction: 0.5,
+            st_compaction: 0.7,
+            offload: 0.85,
+        }
+    }
+}
+
+/// Configuration for a [`Loader`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaimConfig {
+    /// Soft memory budget in bytes — the stand-in for the physical
+    /// memory of the build machine. Thresholds are fractions of this.
+    pub budget_bytes: usize,
+    /// Hard heap limit (the paper's ~1 GB HP-UX virtual-heap cap). When
+    /// accounted memory cannot be brought under this limit the compile
+    /// fails with [`NaimError::OutOfMemory`]. `None` means unlimited.
+    pub hard_limit_bytes: Option<usize>,
+    /// Most aggressive measure the loader may take.
+    pub max_level: NaimLevel,
+    /// Threshold fractions.
+    pub thresholds: Thresholds,
+    /// Maximum number of expanded pools retained in the unload-pending
+    /// cache once NAIM is engaged.
+    pub cache_pools: usize,
+    /// Simulated cost (work units) per byte compacted or uncompacted.
+    pub compact_cost_per_byte: u64,
+    /// Simulated cost (work units) per byte moved to or from disk.
+    pub disk_cost_per_byte: u64,
+}
+
+impl NaimConfig {
+    /// Full NAIM capability with the given budget and default thresholds.
+    #[must_use]
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        NaimConfig {
+            budget_bytes,
+            hard_limit_bytes: None,
+            max_level: NaimLevel::Offload,
+            thresholds: Thresholds::default(),
+            cache_pools: 16,
+            compact_cost_per_byte: 1,
+            disk_cost_per_byte: 4,
+        }
+    }
+
+    /// NAIM disabled: everything stays expanded (Figure 5 "NAIM off").
+    #[must_use]
+    pub fn disabled() -> Self {
+        NaimConfig {
+            max_level: NaimLevel::Off,
+            ..NaimConfig::with_budget(usize::MAX / 4)
+        }
+    }
+
+    /// Caps the capability level, returning the modified config.
+    #[must_use]
+    pub fn max_level(mut self, level: NaimLevel) -> Self {
+        self.max_level = level;
+        self
+    }
+
+    /// Sets the hard heap limit, returning the modified config.
+    #[must_use]
+    pub fn hard_limit(mut self, bytes: usize) -> Self {
+        self.hard_limit_bytes = Some(bytes);
+        self
+    }
+}
+
+impl Default for NaimConfig {
+    fn default() -> Self {
+        // 256 MiB default budget: a mid-1990s large build machine.
+        NaimConfig::with_budget(256 << 20)
+    }
+}
+
+/// Counters describing loader activity, used by the Figure 5 bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoaderStats {
+    /// Pools ever registered.
+    pub pools: u64,
+    /// `get`/`get_mut` calls satisfied by an already-expanded pool.
+    pub hits: u64,
+    /// Unload-pending pools rescued from the cache without re-expansion.
+    pub cache_rescues: u64,
+    /// Expansions from relocatable form (uncompactions).
+    pub uncompactions: u64,
+    /// Compactions to relocatable form.
+    pub compactions: u64,
+    /// Pool images written to the repository.
+    pub offload_writes: u64,
+    /// Pool images read back from the repository.
+    pub offload_reads: u64,
+    /// Total bytes processed by compaction + uncompaction.
+    pub bytes_swizzled: u64,
+    /// Total bytes moved to or from the repository.
+    pub bytes_offloaded: u64,
+    /// Simulated compile-time cost of all NAIM activity, in work units.
+    pub work_units: u64,
+}
+
+#[derive(Debug)]
+enum State<T> {
+    Expanded(T),
+    Compact(Vec<u8>),
+    Offloaded(RepoHandle),
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    kind: PoolKind,
+    state: State<T>,
+    last_use: u64,
+    unload_pending: bool,
+    expanded_size: usize,
+    compact_size: usize,
+}
+
+/// Manages the residency of transitory object pools.
+///
+/// See the [crate docs](crate) for a usage example. The loader is
+/// deliberately single-threaded: parallelizing load/unload with
+/// optimization is the paper's future work (§8).
+#[derive(Debug)]
+pub struct Loader<T, B = MemBackend> {
+    config: NaimConfig,
+    accountant: MemoryAccountant,
+    repo: Repository<B>,
+    slots: Vec<Slot<T>>,
+    clock: u64,
+    stats: LoaderStats,
+}
+
+impl<T: Relocatable> Loader<T, MemBackend> {
+    /// Creates a loader with an in-memory repository backend.
+    #[must_use]
+    pub fn new(config: NaimConfig) -> Self {
+        Loader::with_repository(config, Repository::in_memory())
+    }
+}
+
+impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
+    /// Creates a loader over an explicit repository (e.g. file-backed).
+    pub fn with_repository(config: NaimConfig, repo: Repository<B>) -> Self {
+        Loader {
+            config,
+            accountant: MemoryAccountant::new(),
+            repo,
+            slots: Vec::new(),
+            clock: 0,
+            stats: LoaderStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &NaimConfig {
+        &self.config
+    }
+
+    /// Activity counters.
+    #[must_use]
+    pub fn stats(&self) -> LoaderStats {
+        self.stats
+    }
+
+    /// Memory accounting snapshot (transitory classes are maintained by
+    /// the loader; global and derived classes may be recorded by the
+    /// optimizer through [`Loader::account`]).
+    #[must_use]
+    pub fn memory(&self) -> MemorySnapshot {
+        self.accountant.snapshot()
+    }
+
+    /// Records memory occupied by structures outside the loader's
+    /// control (global or derived data), so thresholds consider the
+    /// whole optimizer heap.
+    pub fn account(&mut self, class: MemClass, delta: isize) {
+        self.accountant.adjust(class, delta);
+    }
+
+    /// Number of pools currently in each state:
+    /// `(expanded, pending, compact, offloaded)`.
+    #[must_use]
+    pub fn census(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for s in &self.slots {
+            match (&s.state, s.unload_pending) {
+                (State::Expanded(_), false) => c.0 += 1,
+                (State::Expanded(_), true) => c.1 += 1,
+                (State::Compact(_), _) => c.2 += 1,
+                (State::Offloaded(_), _) => c.3 += 1,
+            }
+        }
+        c
+    }
+
+    /// Registers a new pool in expanded form.
+    pub fn insert(&mut self, value: T, kind: PoolKind) -> PoolId {
+        let size = value.expanded_bytes();
+        self.accountant.add(MemClass::TransitoryExpanded, size);
+        let id = PoolId(u32::try_from(self.slots.len()).expect("pool count fits in u32"));
+        self.clock += 1;
+        self.slots.push(Slot {
+            kind,
+            state: State::Expanded(value),
+            last_use: self.clock,
+            unload_pending: false,
+            expanded_size: size,
+            compact_size: 0,
+        });
+        self.stats.pools += 1;
+        id
+    }
+
+    /// Current residency state of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this loader.
+    #[must_use]
+    pub fn state(&self, id: PoolId) -> PoolState {
+        let slot = &self.slots[id.index()];
+        match (&slot.state, slot.unload_pending) {
+            (State::Expanded(_), false) => PoolState::Expanded,
+            (State::Expanded(_), true) => PoolState::UnloadPending,
+            (State::Compact(_), _) => PoolState::Compact,
+            (State::Offloaded(_), _) => PoolState::Offloaded,
+        }
+    }
+
+    /// Kind of the pool `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this loader.
+    #[must_use]
+    pub fn kind(&self, id: PoolId) -> PoolKind {
+        self.slots[id.index()].kind
+    }
+
+    fn expand(&mut self, id: PoolId) -> Result<(), NaimError> {
+        let idx = id.index();
+        // Bring offloaded data back into memory first.
+        if let State::Offloaded(handle) = self.slots[idx].state {
+            let image = self.repo.fetch(handle)?;
+            self.stats.offload_reads += 1;
+            self.stats.bytes_offloaded += image.len() as u64;
+            self.stats.work_units += image.len() as u64 * self.config.disk_cost_per_byte;
+            self.accountant
+                .add(MemClass::TransitoryCompact, image.len());
+            self.slots[idx].state = State::Compact(image);
+        }
+        if let State::Compact(image) = &self.slots[idx].state {
+            let mut dec = Decoder::new(image);
+            let value = T::uncompact(&mut dec)?;
+            let image_len = image.len();
+            let size = value.expanded_bytes();
+            self.stats.uncompactions += 1;
+            self.stats.bytes_swizzled += image_len as u64;
+            self.stats.work_units += image_len as u64 * self.config.compact_cost_per_byte;
+            self.accountant
+                .remove(MemClass::TransitoryCompact, image_len);
+            self.accountant.add(MemClass::TransitoryExpanded, size);
+            let slot = &mut self.slots[idx];
+            slot.expanded_size = size;
+            slot.state = State::Expanded(value);
+        }
+        Ok(())
+    }
+
+    /// Returns a shared reference to the expanded pool, loading it from
+    /// relocatable or offloaded form if necessary.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode or repository error if re-expansion fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this loader.
+    pub fn get(&mut self, id: PoolId) -> Result<&T, NaimError> {
+        self.touch(id)?;
+        match &self.slots[id.index()].state {
+            State::Expanded(v) => Ok(v),
+            _ => unreachable!("touch left pool expanded"),
+        }
+    }
+
+    /// Returns an exclusive reference to the expanded pool, loading it
+    /// if necessary.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode or repository error if re-expansion fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this loader.
+    pub fn get_mut(&mut self, id: PoolId) -> Result<&mut T, NaimError> {
+        self.touch(id)?;
+        match &mut self.slots[id.index()].state {
+            State::Expanded(v) => Ok(v),
+            _ => unreachable!("touch left pool expanded"),
+        }
+    }
+
+    /// Ensures the pool is expanded and marks it recently used, without
+    /// borrowing its contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode or repository error if re-expansion fails.
+    pub fn touch(&mut self, id: PoolId) -> Result<(), NaimError> {
+        let idx = id.index();
+        match &self.slots[idx].state {
+            State::Expanded(_) => {
+                self.stats.hits += 1;
+                if self.slots[idx].unload_pending {
+                    // The paper's cache win: only a state change, no work.
+                    self.stats.cache_rescues += 1;
+                }
+            }
+            _ => self.expand(id)?,
+        }
+        self.clock += 1;
+        let slot = &mut self.slots[idx];
+        slot.last_use = self.clock;
+        slot.unload_pending = false;
+        Ok(())
+    }
+
+    /// Re-measures the expanded size of `id` after client mutation and
+    /// fixes up the accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this loader.
+    pub fn reaccount(&mut self, id: PoolId) {
+        let idx = id.index();
+        if let State::Expanded(v) = &self.slots[idx].state {
+            let new_size = v.expanded_bytes();
+            let old_size = self.slots[idx].expanded_size;
+            self.accountant
+                .adjust(MemClass::TransitoryExpanded, new_size as isize - old_size as isize);
+            self.slots[idx].expanded_size = new_size;
+        }
+    }
+
+    /// Declares that the client no longer needs `id` expanded. The pool
+    /// enters the unload-pending cache; whether it is actually compacted
+    /// or offloaded is decided by [`Loader::enforce`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates enforcement failures (hard out-of-memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this loader.
+    pub fn unload(&mut self, id: PoolId) -> Result<(), NaimError> {
+        self.reaccount(id);
+        let slot = &mut self.slots[id.index()];
+        if matches!(slot.state, State::Expanded(_)) {
+            slot.unload_pending = true;
+        }
+        self.enforce()
+    }
+
+    /// Marks every expanded pool unload-pending and enforces the memory
+    /// policy ("clients simply request that all unneeded pools are
+    /// unloaded").
+    ///
+    /// # Errors
+    ///
+    /// Propagates enforcement failures (hard out-of-memory).
+    pub fn unload_all(&mut self) -> Result<(), NaimError> {
+        for idx in 0..self.slots.len() {
+            self.reaccount(PoolId(idx as u32));
+            let slot = &mut self.slots[idx];
+            if matches!(slot.state, State::Expanded(_)) {
+                slot.unload_pending = true;
+            }
+        }
+        self.enforce()
+    }
+
+    fn compact_slot(&mut self, idx: usize) {
+        let slot = &mut self.slots[idx];
+        if let State::Expanded(v) = &slot.state {
+            let mut enc = Encoder::with_capacity(slot.compact_size.max(64));
+            v.compact(&mut enc);
+            let image = enc.into_bytes();
+            self.stats.compactions += 1;
+            self.stats.bytes_swizzled += image.len() as u64;
+            self.stats.work_units += image.len() as u64 * self.config.compact_cost_per_byte;
+            self.accountant
+                .remove(MemClass::TransitoryExpanded, slot.expanded_size);
+            self.accountant.add(MemClass::TransitoryCompact, image.len());
+            slot.compact_size = image.len();
+            slot.unload_pending = false;
+            slot.state = State::Compact(image);
+        }
+    }
+
+    fn offload_slot(&mut self, idx: usize) -> Result<(), NaimError> {
+        // Take the image out first so we never hold a borrow across the
+        // repository call.
+        let image = match &mut self.slots[idx].state {
+            State::Compact(image) => std::mem::take(image),
+            _ => return Ok(()),
+        };
+        let handle = self.repo.store(&image)?;
+        self.stats.offload_writes += 1;
+        self.stats.bytes_offloaded += image.len() as u64;
+        self.stats.work_units += image.len() as u64 * self.config.disk_cost_per_byte;
+        self.accountant
+            .remove(MemClass::TransitoryCompact, image.len());
+        self.slots[idx].state = State::Offloaded(handle);
+        Ok(())
+    }
+
+    /// Unload-pending pool indices, least recently used first, filtered
+    /// by `kind`.
+    fn pending_lru(&self, kind: PoolKind) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.kind == kind && s.unload_pending && matches!(s.state, State::Expanded(_))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        v.sort_by_key(|&i| self.slots[i].last_use);
+        v
+    }
+
+    /// Applies the thresholded memory policy: compaction and offloading
+    /// engage only as the accounted heap crosses the configured
+    /// fractions of the budget, so compilations that fit in memory pay
+    /// nothing (§4.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NaimError::OutOfMemory`] if the heap cannot be brought
+    /// under the hard limit.
+    pub fn enforce(&mut self) -> Result<(), NaimError> {
+        let budget = self.config.budget_bytes as f64;
+        let t_ir = (budget * self.config.thresholds.ir_compaction) as usize;
+        let t_st = (budget * self.config.thresholds.st_compaction) as usize;
+        let t_off = (budget * self.config.thresholds.offload) as usize;
+
+        if self.config.max_level >= NaimLevel::CompactIr {
+            // Compact pending IR pools while over the IR threshold, or
+            // while the pending cache holds more pools than allowed.
+            loop {
+                let over_bytes = self.accountant.total() > t_ir;
+                let pending = self.pending_lru(PoolKind::Ir);
+                let over_cache = over_bytes && pending.len() > self.config.cache_pools;
+                if !(over_bytes || over_cache) {
+                    break;
+                }
+                match pending.first() {
+                    Some(&idx) => self.compact_slot(idx),
+                    None => break,
+                }
+            }
+        }
+        if self.config.max_level >= NaimLevel::CompactAll {
+            while self.accountant.total() > t_st {
+                match self.pending_lru(PoolKind::SymTab).first() {
+                    Some(&idx) => self.compact_slot(idx),
+                    None => break,
+                }
+            }
+        }
+        if self.config.max_level >= NaimLevel::Offload {
+            while self.accountant.total() > t_off {
+                // Offload the largest compacted images first: maximum
+                // reclaimed memory per disk operation.
+                let victim = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| matches!(s.state, State::Compact(_)))
+                    .max_by_key(|(i, s)| (s.compact_size, usize::MAX - i));
+                match victim {
+                    Some((idx, _)) => self.offload_slot(idx)?,
+                    None => break,
+                }
+            }
+        }
+        if let Some(limit) = self.config.hard_limit_bytes {
+            let total = self.accountant.total();
+            if total > limit {
+                return Err(NaimError::OutOfMemory {
+                    wanted: total,
+                    budget: limit,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A test payload whose expanded form is deliberately fatter than
+    /// its relocatable form (stand-in for derived-field dropping).
+    #[derive(Clone, Debug, PartialEq)]
+    struct Blob {
+        payload: Vec<u64>,
+    }
+
+    impl Blob {
+        fn of(n: u64, len: usize) -> Self {
+            Blob {
+                payload: (0..len as u64).map(|i| i.wrapping_mul(n)).collect(),
+            }
+        }
+    }
+
+    impl Relocatable for Blob {
+        fn compact(&self, enc: &mut Encoder) {
+            enc.write_usize(self.payload.len());
+            for &v in &self.payload {
+                enc.write_u64(v);
+            }
+        }
+        fn uncompact(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+            let len = dec.read_usize()?;
+            let mut payload = Vec::with_capacity(len);
+            for _ in 0..len {
+                payload.push(dec.read_u64()?);
+            }
+            Ok(Blob { payload })
+        }
+        fn expanded_bytes(&self) -> usize {
+            std::mem::size_of::<Self>() + self.payload.capacity() * 8
+        }
+    }
+
+    fn tiny_config() -> NaimConfig {
+        NaimConfig {
+            cache_pools: 2,
+            ..NaimConfig::with_budget(4096)
+        }
+    }
+
+    #[test]
+    fn round_trip_through_all_states() {
+        let mut loader: Loader<Blob> = Loader::new(tiny_config());
+        let mut ids = Vec::new();
+        for i in 0..32 {
+            ids.push(loader.insert(Blob::of(i, 100), PoolKind::Ir));
+        }
+        loader.unload_all().unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(loader.get(id).unwrap(), &Blob::of(i as u64, 100));
+        }
+    }
+
+    #[test]
+    fn small_compiles_never_compact() {
+        // Under the thresholds nothing happens: the paper's "little or
+        // no overhead" property.
+        let mut loader: Loader<Blob> = Loader::new(NaimConfig::with_budget(1 << 30));
+        let ids: Vec<_> = (0..8)
+            .map(|i| loader.insert(Blob::of(i, 50), PoolKind::Ir))
+            .collect();
+        loader.unload_all().unwrap();
+        assert_eq!(loader.stats().compactions, 0);
+        for id in ids {
+            assert!(matches!(
+                loader.state(id),
+                PoolState::UnloadPending | PoolState::Expanded
+            ));
+        }
+    }
+
+    #[test]
+    fn naim_off_never_compacts_even_over_budget() {
+        let mut loader: Loader<Blob> =
+            Loader::new(NaimConfig::disabled());
+        for i in 0..64 {
+            loader.insert(Blob::of(i, 200), PoolKind::Ir);
+        }
+        loader.unload_all().unwrap();
+        assert_eq!(loader.stats().compactions, 0);
+    }
+
+    #[test]
+    fn hard_limit_reports_out_of_memory() {
+        let config = NaimConfig::disabled().hard_limit(1024);
+        let mut loader: Loader<Blob> = Loader::new(config);
+        loader.insert(Blob::of(1, 1000), PoolKind::Ir);
+        assert!(matches!(
+            loader.unload_all(),
+            Err(NaimError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn compaction_keeps_memory_under_threshold() {
+        let mut loader: Loader<Blob> = Loader::new(tiny_config());
+        for i in 0..64 {
+            let id = loader.insert(Blob::of(i, 100), PoolKind::Ir);
+            loader.unload(id).unwrap();
+        }
+        assert!(loader.stats().compactions > 0);
+        // Compact form of 100 small u64s is far smaller than expanded.
+        let snap = loader.memory();
+        assert!(snap.class(MemClass::TransitoryCompact) < snap.peak_total);
+    }
+
+    #[test]
+    fn offload_engages_above_offload_threshold() {
+        let config = NaimConfig {
+            budget_bytes: 2048,
+            cache_pools: 0,
+            ..NaimConfig::with_budget(2048)
+        };
+        let mut loader: Loader<Blob> = Loader::new(config);
+        let mut ids = Vec::new();
+        for i in 0..64 {
+            let id = loader.insert(Blob::of(i, 300), PoolKind::Ir);
+            ids.push(id);
+            loader.unload(id).unwrap();
+        }
+        assert!(loader.stats().offload_writes > 0);
+        // And reading back still works.
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(loader.get(id).unwrap(), &Blob::of(i as u64, 300));
+            loader.unload(id).unwrap();
+        }
+        assert!(loader.stats().offload_reads > 0);
+    }
+
+    #[test]
+    fn cache_rescue_is_free() {
+        let mut loader: Loader<Blob> = Loader::new(NaimConfig::with_budget(1 << 30));
+        let id = loader.insert(Blob::of(3, 10), PoolKind::Ir);
+        loader.unload(id).unwrap();
+        let before = loader.stats();
+        loader.touch(id).unwrap();
+        let after = loader.stats();
+        assert_eq!(after.cache_rescues, before.cache_rescues + 1);
+        assert_eq!(after.uncompactions, before.uncompactions);
+    }
+
+    #[test]
+    fn symtab_pools_obey_their_own_threshold() {
+        let config = NaimConfig {
+            max_level: NaimLevel::CompactIr,
+            cache_pools: 0,
+            ..NaimConfig::with_budget(2048)
+        };
+        let mut loader: Loader<Blob> = Loader::new(config);
+        for i in 0..32 {
+            let id = loader.insert(Blob::of(i, 200), PoolKind::SymTab);
+            loader.unload(id).unwrap();
+        }
+        // Level CompactIr never touches symbol tables.
+        assert_eq!(loader.stats().compactions, 0);
+    }
+
+    #[test]
+    fn mutation_then_reload_sees_new_value() {
+        let mut loader: Loader<Blob> = Loader::new(tiny_config());
+        let id = loader.insert(Blob::of(1, 100), PoolKind::Ir);
+        loader.get_mut(id).unwrap().payload.push(12345);
+        loader.unload(id).unwrap();
+        // Force it out by pressure.
+        for i in 0..64 {
+            let other = loader.insert(Blob::of(i, 100), PoolKind::Ir);
+            loader.unload(other).unwrap();
+        }
+        let v = loader.get(id).unwrap();
+        assert_eq!(*v.payload.last().unwrap(), 12345);
+    }
+
+    #[test]
+    fn census_reflects_states() {
+        let mut loader: Loader<Blob> = Loader::new(NaimConfig::with_budget(1 << 30));
+        let a = loader.insert(Blob::of(1, 10), PoolKind::Ir);
+        let _b = loader.insert(Blob::of(2, 10), PoolKind::Ir);
+        loader.unload(a).unwrap();
+        let (expanded, pending, compact, offloaded) = loader.census();
+        assert_eq!((expanded, pending, compact, offloaded), (1, 1, 0, 0));
+    }
+
+    #[test]
+    fn work_units_accumulate_with_activity() {
+        let mut loader: Loader<Blob> = Loader::new(tiny_config());
+        for i in 0..64 {
+            let id = loader.insert(Blob::of(i, 100), PoolKind::Ir);
+            loader.unload(id).unwrap();
+        }
+        assert!(loader.stats().work_units > 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Persistent identifiers.
+
+use std::fmt;
+
+/// A persistent identifier: the address-independent form of an
+/// inter-object reference inside a relocatable pool.
+///
+/// Following the object-database technique the paper borrows (§4.2.1),
+/// references between relocatable objects are stored as `Pid`s and
+/// converted to in-memory references by *eager swizzling* when the pool
+/// is loaded. In this reproduction, references to *global* objects
+/// (interned symbols, program-wide routine and variable indices) are
+/// already stable small integers, so a `Pid` wraps a `u64` payload; the
+/// swizzling step is the decode pass that turns the payload back into a
+/// typed index.
+///
+/// # Example
+///
+/// ```
+/// use cmo_naim::Pid;
+/// let p = Pid::from_index(42usize);
+/// assert_eq!(p.index(), 42);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pid(u64);
+
+impl Pid {
+    /// Creates a `Pid` from a raw 64-bit payload.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Pid(raw)
+    }
+
+    /// Creates a `Pid` referring to the `index`-th object of a permanent
+    /// table.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        Pid(index as u64)
+    }
+
+    /// Returns the raw 64-bit payload.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the payload interpreted as a table index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pid({})", self.0)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl From<u64> for Pid {
+    fn from(raw: u64) -> Self {
+        Pid(raw)
+    }
+}
+
+impl From<Pid> for u64 {
+    fn from(p: Pid) -> Self {
+        p.0
+    }
+}

@@ -1,0 +1,259 @@
+//! The off-line disk repository for offloaded pools (§4.2).
+//!
+//! When even the compacted transitory data exceeds the memory budget,
+//! the loader unloads relocatable pool images into the repository and
+//! keeps only a small handle. Because the relocatable form maps directly
+//! to the loaded form (a deliberate difference from the Convex
+//! Application Compiler, §7), reading a pool back requires no rebuild —
+//! just a read plus one uncompaction pass.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Handle to a pool image stored in the repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RepoHandle {
+    offset: u64,
+    len: u32,
+}
+
+impl RepoHandle {
+    /// Length in bytes of the stored image.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` if the stored image is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Storage backend for a [`Repository`].
+///
+/// The production configuration is [`File`]-backed; tests and benches
+/// may use the deterministic in-memory [`MemBackend`].
+pub trait RepoBackend {
+    /// Appends `data`, returning its starting offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O failure.
+    fn append(&mut self, data: &[u8]) -> std::io::Result<u64>;
+
+    /// Reads `len` bytes starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O failure, including short reads.
+    fn read_at(&mut self, offset: u64, len: usize) -> std::io::Result<Vec<u8>>;
+}
+
+/// In-memory backend; useful for tests and for measuring offload traffic
+/// without real disk I/O.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    data: Vec<u8>,
+}
+
+impl MemBackend {
+    /// Creates an empty in-memory backend.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes ever appended.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if nothing has been appended.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl RepoBackend for MemBackend {
+    fn append(&mut self, data: &[u8]) -> std::io::Result<u64> {
+        let offset = self.data.len() as u64;
+        self.data.extend_from_slice(data);
+        Ok(offset)
+    }
+
+    fn read_at(&mut self, offset: u64, len: usize) -> std::io::Result<Vec<u8>> {
+        let start = offset as usize;
+        let end = start.checked_add(len).filter(|&e| e <= self.data.len());
+        match end {
+            Some(end) => Ok(self.data[start..end].to_vec()),
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "repository read past end",
+            )),
+        }
+    }
+}
+
+impl RepoBackend for File {
+    fn append(&mut self, data: &[u8]) -> std::io::Result<u64> {
+        let offset = self.seek(SeekFrom::End(0))?;
+        self.write_all(data)?;
+        Ok(offset)
+    }
+
+    fn read_at(&mut self, offset: u64, len: usize) -> std::io::Result<Vec<u8>> {
+        self.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        self.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+}
+
+/// Statistics on repository traffic, used by the Figure 5 experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepoStats {
+    /// Number of pool images written.
+    pub writes: u64,
+    /// Number of pool images read back.
+    pub reads: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+}
+
+/// An append-only store of relocatable pool images.
+///
+/// The repository is a temporary artifact of a single optimization run;
+/// persistent program information lives only in object files and the
+/// profile database (§6.1), so nothing here survives the compilation.
+#[derive(Debug)]
+pub struct Repository<B = MemBackend> {
+    backend: B,
+    stats: RepoStats,
+}
+
+impl Repository<MemBackend> {
+    /// Creates a repository backed by process memory.
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Repository {
+            backend: MemBackend::new(),
+            stats: RepoStats::default(),
+        }
+    }
+}
+
+impl Repository<File> {
+    /// Creates a repository backed by a fresh file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be created.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let file = File::options()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        Ok(Repository {
+            backend: file,
+            stats: RepoStats::default(),
+        })
+    }
+}
+
+impl<B: RepoBackend> Repository<B> {
+    /// Creates a repository over an arbitrary backend.
+    pub fn with_backend(backend: B) -> Self {
+        Repository {
+            backend,
+            stats: RepoStats::default(),
+        }
+    }
+
+    /// Stores a pool image, returning its handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns any backend I/O failure.
+    pub fn store(&mut self, image: &[u8]) -> std::io::Result<RepoHandle> {
+        let offset = self.backend.append(image)?;
+        self.stats.writes += 1;
+        self.stats.bytes_written += image.len() as u64;
+        Ok(RepoHandle {
+            offset,
+            len: u32::try_from(image.len()).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "pool image over 4 GiB")
+            })?,
+        })
+    }
+
+    /// Fetches a pool image previously stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns any backend I/O failure.
+    pub fn fetch(&mut self, handle: RepoHandle) -> std::io::Result<Vec<u8>> {
+        let data = self.backend.read_at(handle.offset, handle.len())?;
+        self.stats.reads += 1;
+        self.stats.bytes_read += handle.len as u64;
+        Ok(data)
+    }
+
+    /// Traffic statistics since creation.
+    #[must_use]
+    pub fn stats(&self) -> RepoStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_backend_round_trips() {
+        let mut repo = Repository::in_memory();
+        let h1 = repo.store(b"alpha").unwrap();
+        let h2 = repo.store(b"beta").unwrap();
+        assert_eq!(repo.fetch(h1).unwrap(), b"alpha");
+        assert_eq!(repo.fetch(h2).unwrap(), b"beta");
+        let s = repo.stats();
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.bytes_written, 9);
+    }
+
+    #[test]
+    fn file_backend_round_trips() {
+        let dir = std::env::temp_dir().join(format!("cmo-naim-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repo.bin");
+        let mut repo = Repository::create(&path).unwrap();
+        let h = repo.store(&[7u8; 1000]).unwrap();
+        assert_eq!(repo.fetch(h).unwrap(), vec![7u8; 1000]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_read_errors() {
+        let mut repo = Repository::in_memory();
+        let bogus = RepoHandle { offset: 100, len: 4 };
+        assert!(repo.fetch(bogus).is_err());
+    }
+
+    #[test]
+    fn empty_image_is_fine() {
+        let mut repo = Repository::in_memory();
+        let h = repo.store(&[]).unwrap();
+        assert!(h.is_empty());
+        assert_eq!(repo.fetch(h).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests on the profile database: persistence is lossless,
+//! accumulation is additive, and ranking is a permutation.
+
+use cmo_profile::{ProbeKey, ProfileDb, RoutineShape};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Run {
+    routines: Vec<(String, RoutineShape, Vec<u64>, Vec<u64>)>,
+}
+
+fn arb_run() -> impl Strategy<Value = Run> {
+    proptest::collection::vec(
+        (
+            "[a-z]{1,8}",
+            1u32..6,
+            0u32..5,
+            any::<u64>(),
+        ),
+        1..6,
+    )
+    .prop_flat_map(|metas| {
+        let strategies: Vec<_> = metas
+            .into_iter()
+            .enumerate()
+            // A real probe table has one shape per routine name; make
+            // generated names unique so the fixture matches that
+            // invariant.
+            .map(|(i, (name, nb, ns, fp))| (format!("{name}_{i}"), nb, ns, fp))
+            .map(|(name, nb, ns, fp)| {
+                let blocks = proptest::collection::vec(0u64..1_000_000, nb as usize..=nb as usize);
+                let sites = proptest::collection::vec(0u64..1_000_000, ns as usize..=ns as usize);
+                (Just(name), Just(nb), Just(ns), Just(fp), blocks, sites)
+            })
+            .collect();
+        strategies.prop_map(|rows| Run {
+            routines: rows
+                .into_iter()
+                .map(|(name, nb, ns, fp, blocks, sites)| {
+                    (
+                        name,
+                        RoutineShape {
+                            n_blocks: nb,
+                            n_sites: ns,
+                            fingerprint: fp,
+                        },
+                        blocks,
+                        sites,
+                    )
+                })
+                .collect(),
+        })
+    })
+}
+
+fn record(db: &mut ProfileDb, run: &Run) {
+    let mut counts = Vec::new();
+    let mut shapes = Vec::new();
+    for (name, shape, blocks, sites) in &run.routines {
+        shapes.push((name.clone(), *shape));
+        for (i, &c) in blocks.iter().enumerate() {
+            counts.push((ProbeKey::block(name, i as u32), c));
+        }
+        for (i, &c) in sites.iter().enumerate() {
+            counts.push((ProbeKey::site(name, i as u32), c));
+        }
+    }
+    db.record(&counts, &shapes);
+}
+
+proptest! {
+    #[test]
+    fn serialization_round_trips(run in arb_run()) {
+        let mut db = ProfileDb::new();
+        record(&mut db, &run);
+        let back = ProfileDb::from_bytes(&db.to_bytes()).expect("decode");
+        prop_assert_eq!(back, db);
+    }
+
+    #[test]
+    fn two_runs_add(run in arb_run()) {
+        let mut once = ProfileDb::new();
+        record(&mut once, &run);
+        let mut twice = ProfileDb::new();
+        record(&mut twice, &run);
+        record(&mut twice, &run);
+        for (name, _, blocks, sites) in &run.routines {
+            for (i, &c) in blocks.iter().enumerate() {
+                // Same-named routines in a run may collide; only check
+                // when the single-run count matches the input exactly.
+                if once.block_count(name, i as u32) == Some(c) {
+                    prop_assert_eq!(twice.block_count(name, i as u32), Some(c * 2));
+                }
+            }
+            for (i, &c) in sites.iter().enumerate() {
+                if once.site_count(name, i as u32) == Some(c) {
+                    prop_assert_eq!(twice.site_count(name, i as u32), Some(c * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_sites_is_a_sorted_permutation(run in arb_run()) {
+        let mut db = ProfileDb::new();
+        record(&mut db, &run);
+        let ranked = db.ranked_sites();
+        // Sorted by count descending.
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].2 >= w[1].2);
+        }
+        // Every entry is a real site with the recorded count.
+        for (name, site, count) in &ranked {
+            prop_assert_eq!(db.site_count(name, *site), Some(*count));
+        }
+    }
+
+    #[test]
+    fn corrupt_db_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = ProfileDb::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn merge_never_loses_routines(a in arb_run(), b in arb_run()) {
+        let mut da = ProfileDb::new();
+        record(&mut da, &a);
+        let mut db_ = ProfileDb::new();
+        record(&mut db_, &b);
+        let names_before: Vec<String> = da
+            .iter()
+            .map(|(n, _)| n.to_owned())
+            .chain(db_.iter().map(|(n, _)| n.to_owned()))
+            .collect();
+        da.merge(&db_);
+        for n in names_before {
+            prop_assert!(da.routine(&n).is_some());
+        }
+    }
+}

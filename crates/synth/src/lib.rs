@@ -1,0 +1,450 @@
+#![warn(missing_docs)]
+//! Synthetic application generator.
+//!
+//! The paper evaluates on the SPECint95 suite plus three proprietary
+//! multi-million-line MCAD applications (§2, §6.4: "large programs
+//! like Mcad1, Mcad2, and Mcad3 are hard to come by"). They are not
+//! available, so this crate generates MLC applications whose *shape*
+//! matches what the paper's techniques exploit:
+//!
+//! * many separately compiled modules with a deep, acyclic,
+//!   cross-module call web (every routine reachable from `main`);
+//! * Zipf-skewed workloads — a few entry points take most of the
+//!   execution, so ~20 % of the code covers ~all the runtime (the
+//!   premise of selectivity, Figure 6);
+//! * hot call sites passing constant arguments, read-only exported
+//!   configuration globals, and write-only logging globals (fodder for
+//!   inlining, IP constant propagation, and dead-store removal);
+//! * biased branches (fodder for profile-guided layout);
+//! * distinct *training* and *reference* inputs whose hot sets overlap
+//!   but differ (§6.2's training-set methodology);
+//! * mixed "languages": some modules are integer-flavored C-style
+//!   code, others float-flavored Fortran-style code (Mcad2 mixes C,
+//!   C++, and Fortran — HLO must not care).
+//!
+//! Generation is fully deterministic from the seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+mod presets;
+mod render;
+mod workload;
+
+pub use presets::{mcad_preset, spec_preset, spec_suite, SPEC_NAMES};
+pub use workload::make_input;
+
+/// Parameters for one synthetic application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthSpec {
+    /// Application name.
+    pub name: String,
+    /// RNG seed; everything derives deterministically from it.
+    pub seed: u64,
+    /// Number of modules.
+    pub modules: usize,
+    /// Routines per module (inclusive range).
+    pub routines_per_module: (usize, usize),
+    /// Arithmetic statements per routine body (inclusive range).
+    pub stmts_per_routine: (usize, usize),
+    /// Fraction of call edges that cross module boundaries.
+    pub cross_module_frac: f64,
+    /// Zipf exponent of the workload skew over entry points (higher =
+    /// more concentrated hot spot).
+    pub zipf_exponent: f64,
+    /// Iterations of the main dispatch loop per run.
+    pub workload_iters: u64,
+    /// Fraction of entry-point hotness ranks that differ between the
+    /// training and reference inputs (0 = identical workloads, the ISV
+    /// methodology; higher = §6.2's stale-training risk).
+    pub train_divergence: f64,
+    /// Fraction of modules generated float-flavored ("Fortran").
+    pub float_module_frac: f64,
+    /// Call-tree depth bound (levels).
+    pub levels: usize,
+}
+
+impl SynthSpec {
+    /// A small, fast default spec (useful in tests).
+    #[must_use]
+    pub fn small(name: &str, seed: u64) -> Self {
+        SynthSpec {
+            name: name.to_owned(),
+            seed,
+            modules: 4,
+            routines_per_module: (6, 10),
+            stmts_per_routine: (3, 8),
+            cross_module_frac: 0.4,
+            zipf_exponent: 1.2,
+            workload_iters: 500,
+            train_divergence: 0.0,
+            float_module_frac: 0.2,
+            levels: 5,
+        }
+    }
+
+    /// Returns the spec resized to `n` modules (used by the Figure 4
+    /// increasing-prefix experiment; the app is regenerated
+    /// self-contained at each size).
+    #[must_use]
+    pub fn with_modules(mut self, n: usize) -> Self {
+        self.modules = n;
+        self
+    }
+}
+
+/// One generated application.
+#[derive(Debug, Clone)]
+pub struct SynthApp {
+    /// Application name.
+    pub name: String,
+    /// `(module name, MLC source)` pairs, `main` module first.
+    pub modules: Vec<(String, String)>,
+    /// Training workload input.
+    pub train_input: Vec<i64>,
+    /// Reference (benchmark) workload input.
+    pub ref_input: Vec<i64>,
+    /// Total source lines across all modules.
+    pub total_lines: u64,
+}
+
+/// Internal model of one routine before rendering.
+#[derive(Debug, Clone)]
+pub(crate) struct RoutineModel {
+    #[allow(dead_code)]
+    pub module: usize,
+    pub index: usize,
+    pub level: usize,
+    pub arity: usize,
+    pub stmts: usize,
+    /// Calls: (target module, target routine index, constant arg mask).
+    pub calls: Vec<CallModel>,
+    pub exported: bool,
+    /// Reads another module's exported config global.
+    pub reads_foreign_cfg: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct CallModel {
+    #[allow(dead_code)]
+    pub module: usize,
+    pub index: usize,
+    /// Per-argument: `Some(k)` passes the literal constant `k`
+    /// (constant-propagation fodder), `None` passes a live expression.
+    pub const_args: Vec<Option<i64>>,
+    /// Guarded by a biased conditional (taken ~15/16 of the time).
+    pub biased_guard: bool,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ModuleModel {
+    pub routines: Vec<RoutineModel>,
+    pub float_flavored: bool,
+    pub array_len: u32,
+}
+
+/// Generates the application for `spec`.
+///
+/// # Panics
+///
+/// Panics if the spec is degenerate (zero modules or routines).
+#[must_use]
+pub fn generate(spec: &SynthSpec) -> SynthApp {
+    assert!(spec.modules > 0, "spec needs at least one module");
+    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x5ee1);
+
+    // --- Structure: modules, routines, levels. ---
+    let mut modules: Vec<ModuleModel> = Vec::with_capacity(spec.modules);
+    for m in 0..spec.modules {
+        let k = rng.gen_range(spec.routines_per_module.0..=spec.routines_per_module.1.max(spec.routines_per_module.0));
+        let float_flavored = rng.gen_bool(spec.float_module_frac.clamp(0.0, 1.0));
+        let mut routines = Vec::with_capacity(k);
+        for r in 0..k {
+            let level = if r == 0 {
+                0
+            } else {
+                1 + (r - 1) * (spec.levels - 1) / k.max(2)
+            };
+            routines.push(RoutineModel {
+                module: m,
+                index: r,
+                level,
+                arity: rng.gen_range(1..=3),
+                stmts: rng.gen_range(
+                    spec.stmts_per_routine.0..=spec.stmts_per_routine.1.max(spec.stmts_per_routine.0),
+                ),
+                calls: Vec::new(),
+                exported: r == 0, // entries are exported; more later
+                reads_foreign_cfg: None,
+            });
+        }
+        modules.push(ModuleModel {
+            routines,
+            float_flavored,
+            array_len: rng.gen_range(8..=64),
+        });
+    }
+
+    // Flat index of all routines for wiring.
+    let all: Vec<(usize, usize, usize)> = modules
+        .iter()
+        .enumerate()
+        .flat_map(|(m, mm)| {
+            mm.routines
+                .iter()
+                .map(move |r| (m, r.index, r.level))
+        })
+        .collect();
+
+    // --- Call wiring: acyclic by level, bounded fan-out, tree-ish
+    //     fan-in. Preferring the least-called candidate keeps most
+    //     routines dominated by one or two callers (the shape of real
+    //     call graphs), with shared utilities emerging only where the
+    //     level structure forces them.
+    let mut fan_in = vec![0usize; all.len()];
+    let flat_index = {
+        let mut bases = Vec::with_capacity(modules.len());
+        let mut idx = 0;
+        for model in &modules {
+            bases.push(idx);
+            idx += model.routines.len();
+        }
+        move |m: usize, r: usize| bases[m] + r
+    };
+    // The last ~10% of modules are shared "library" modules, callable
+    // from anywhere; other cross-module calls stay within a subsystem
+    // neighbourhood (ring distance ≤ 2). This reproduces the locality
+    // structure of large layered applications: subsystem-local hot
+    // paths plus a shared utility layer hot from everywhere (the
+    // clustering winner).
+    let n_library = (spec.modules / 10).max(usize::from(spec.modules >= 4));
+    let lib_start = spec.modules - n_library;
+    for &(m, r, level) in &all {
+        let n_calls = [1usize, 1, 2, 2, 3, 3][rng.gen_range(0..6)];
+        for _ in 0..n_calls {
+            let cross = rng.gen_bool(spec.cross_module_frac.clamp(0.0, 1.0));
+            let to_library = cross && lib_start > 0 && rng.gen_bool(0.3);
+            let in_scope = |cm: usize| -> bool {
+                if !cross {
+                    return cm == m;
+                }
+                if to_library {
+                    return cm >= lib_start && cm != m;
+                }
+                if cm == m {
+                    return false;
+                }
+                let dist = (cm as i64 - m as i64).rem_euclid(spec.modules as i64);
+                let dist = dist.min(spec.modules as i64 - dist);
+                dist <= 2
+            };
+            let mut candidates: Vec<&(usize, usize, usize)> = all
+                .iter()
+                .filter(|&&(cm, _, cl)| cl > level && in_scope(cm))
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let min_in = candidates
+                .iter()
+                .map(|&&(cm, cr, _)| fan_in[flat_index(cm, cr)])
+                .min()
+                .expect("candidates nonempty");
+            candidates.retain(|&&(cm, cr, _)| fan_in[flat_index(cm, cr)] == min_in);
+            let &&(cm, cr, _) = &candidates[rng.gen_range(0..candidates.len())];
+            fan_in[flat_index(cm, cr)] += 1;
+            let arity = modules[cm].routines[cr].arity;
+            let const_args: Vec<Option<i64>> = (0..arity)
+                .map(|_| rng.gen_bool(0.45).then(|| rng.gen_range(0..3i64)))
+                .collect();
+            modules[m].routines[r].calls.push(CallModel {
+                module: cm,
+                index: cr,
+                const_args,
+                biased_guard: rng.gen_bool(0.5),
+            });
+        }
+        if rng.gen_bool(0.3) && spec.modules > 1 {
+            let other = (m + 1 + rng.gen_range(0..spec.modules - 1)) % spec.modules;
+            modules[m].routines[r].reads_foreign_cfg = Some(other);
+        }
+    }
+
+    // --- Reachability: every non-entry routine gets at least one
+    //     caller at a strictly lower level. ---
+    let mut callee_seen = vec![false; all.len()];
+    let module_base: Vec<usize> = {
+        let mut bases = Vec::with_capacity(modules.len());
+        let mut idx = 0;
+        for model in &modules {
+            bases.push(idx);
+            idx += model.routines.len();
+        }
+        bases
+    };
+    let flat_of = move |m: usize, r: usize| -> usize { module_base[m] + r };
+    let call_list: Vec<(usize, usize)> = modules
+        .iter()
+        .flat_map(|mm| {
+            mm.routines
+                .iter()
+                .flat_map(|r| r.calls.iter().map(|c| (c.module, c.index)))
+        })
+        .collect();
+    for (cm, cr) in call_list {
+        callee_seen[flat_of(cm, cr)] = true;
+    }
+    for &(m, r, level) in &all {
+        if level == 0 || callee_seen[flat_of(m, r)] {
+            continue;
+        }
+        // Deterministic rescue caller: any routine at a lower level.
+        let lower: Vec<&(usize, usize, usize)> =
+            all.iter().filter(|&&(_, _, cl)| cl < level).collect();
+        let &&(pm, pr, _) = &lower[rng.gen_range(0..lower.len())];
+        let arity = modules[m].routines[r].arity;
+        let const_args = vec![None; arity];
+        modules[pm].routines[pr].calls.push(CallModel {
+            module: m,
+            index: r,
+            const_args,
+            biased_guard: false,
+        });
+    }
+
+    // --- Linkage: exported iff entry or called cross-module. ---
+    let cross_called: Vec<(usize, usize)> = modules
+        .iter()
+        .enumerate()
+        .flat_map(|(m, mm)| {
+            mm.routines.iter().flat_map(move |r| {
+                r.calls
+                    .iter()
+                    .filter(move |c| c.module != m)
+                    .map(|c| (c.module, c.index))
+            })
+        })
+        .collect();
+    for (cm, cr) in cross_called {
+        modules[cm].routines[cr].exported = true;
+    }
+
+    // --- Render sources. ---
+    let mut out_modules = Vec::with_capacity(spec.modules + 1);
+    // Every module's entry routine is a dispatch target, so all
+    // modules are live and the Zipf skew decides hotness.
+    let n_entries = spec.modules;
+    out_modules.push((
+        "main".to_owned(),
+        render::render_main(spec, &modules, n_entries),
+    ));
+    for (m, model) in modules.iter().enumerate() {
+        out_modules.push((format!("m{m}"), render::render_module(spec, &modules, m, model)));
+    }
+    let total_lines: u64 = out_modules
+        .iter()
+        .map(|(_, src)| src.lines().count() as u64)
+        .sum();
+
+    // --- Workloads. ---
+    let train_input = workload::make_input(spec, n_entries, true);
+    let ref_input = workload::make_input(spec, n_entries, false);
+
+    SynthApp {
+        name: spec.name.clone(),
+        modules: out_modules,
+        train_input,
+        ref_input,
+        total_lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmo_frontend::compile_module;
+    use cmo_ir::link_objects;
+
+    #[test]
+    fn generated_app_compiles_and_links() {
+        let app = generate(&SynthSpec::small("t", 42));
+        let objs: Vec<_> = app
+            .modules
+            .iter()
+            .map(|(name, src)| {
+                compile_module(name, src).unwrap_or_else(|e| {
+                    panic!("module {name} failed: {e}\n--- source ---\n{src}")
+                })
+            })
+            .collect();
+        let unit = link_objects(objs).expect("must link");
+        cmo_ir::validate::validate_unit(&unit.program, &unit.bodies).unwrap();
+        assert!(unit.program.main_routine().is_some());
+        assert!(app.total_lines > 50);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&SynthSpec::small("t", 7));
+        let b = generate(&SynthSpec::small("t", 7));
+        assert_eq!(a.modules, b.modules);
+        assert_eq!(a.ref_input, b.ref_input);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SynthSpec::small("t", 1));
+        let b = generate(&SynthSpec::small("t", 2));
+        assert_ne!(a.modules, b.modules);
+    }
+
+    #[test]
+    fn train_and_ref_share_length_but_differ_when_divergent() {
+        let mut spec = SynthSpec::small("t", 3);
+        spec.train_divergence = 0.5;
+        let app = generate(&spec);
+        assert_eq!(app.train_input.len(), app.ref_input.len());
+        assert_ne!(app.train_input, app.ref_input);
+
+        spec.train_divergence = 0.0;
+        let same = generate(&spec);
+        assert_eq!(same.train_input, same.ref_input);
+    }
+
+    #[test]
+    fn all_routines_reachable_from_main() {
+        let app = generate(&SynthSpec::small("t", 11));
+        let objs: Vec<_> = app
+            .modules
+            .iter()
+            .map(|(n, s)| compile_module(n, s).unwrap())
+            .collect();
+        let unit = link_objects(objs).unwrap();
+        // Walk the call graph from main.
+        let main = unit.program.main_routine().unwrap();
+        let mut seen = vec![false; unit.bodies.len()];
+        let mut work = vec![main];
+        while let Some(r) = work.pop() {
+            if seen[r.index()] {
+                continue;
+            }
+            seen[r.index()] = true;
+            for block in &unit.bodies[r.index()].blocks {
+                for instr in &block.instrs {
+                    if let cmo_ir::Instr::Call { callee, .. } = instr {
+                        work.push(callee.id());
+                    }
+                }
+            }
+        }
+        let unreachable = seen.iter().filter(|&&s| !s).count();
+        assert_eq!(unreachable, 0, "dead generated routines");
+    }
+
+    #[test]
+    fn module_count_scales_lines() {
+        let small = generate(&SynthSpec::small("t", 5).with_modules(2));
+        let large = generate(&SynthSpec::small("t", 5).with_modules(10));
+        assert!(large.total_lines > small.total_lines * 2);
+    }
+}

@@ -1,0 +1,217 @@
+//! Presets mirroring the paper's benchmark suite, scaled ~100× down.
+//!
+//! Figure 1 evaluates the eight SPECint95 integer benchmarks (126.gcc
+//! ≈ 120 K lines being the largest) and three MCAD applications: Mcad1
+//! ≈ 5 M lines of C, Mcad2 ≈ 6.5 M mixed C/Fortran/C++, Mcad3 ≈ 9 M
+//! C++. The presets here reproduce the *relative* sizes and characters
+//! (language mix, module counts, workload skew) at a scale a laptop
+//! compiles in seconds; the paper's absolute line counts are noted per
+//! preset.
+
+use crate::SynthSpec;
+
+/// The SPECint95 benchmark names in Figure 1 order.
+pub const SPEC_NAMES: [&str; 8] = [
+    "go", "m88ksim", "gcc", "compress", "li", "ijpeg", "perl", "vortex",
+];
+
+fn base(name: &str, seed: u64) -> SynthSpec {
+    SynthSpec {
+        name: name.to_owned(),
+        seed,
+        modules: 4,
+        routines_per_module: (8, 14),
+        stmts_per_routine: (2, 6),
+        cross_module_frac: 0.45,
+        zipf_exponent: 1.2,
+        workload_iters: 1200,
+        train_divergence: 0.15,
+        float_module_frac: 0.1,
+        levels: 5,
+    }
+}
+
+/// A SPECint95-like preset by benchmark name.
+///
+/// # Panics
+///
+/// Panics on a name not in [`SPEC_NAMES`].
+#[must_use]
+pub fn spec_preset(name: &str) -> SynthSpec {
+    match name {
+        // 029.go: one big hand-written evaluator, few modules, heavy
+        // integer computation, poor branch predictability.
+        "go" => SynthSpec {
+            modules: 3,
+            routines_per_module: (14, 20),
+            stmts_per_routine: (6, 14),
+            zipf_exponent: 0.8,
+            ..base("go", 0x60)
+        },
+        // 124.m88ksim: CPU simulator, central dispatch loop.
+        "m88ksim" => SynthSpec {
+            modules: 5,
+            zipf_exponent: 1.6,
+            ..base("m88ksim", 0x88)
+        },
+        // 126.gcc: the largest SPEC program (~120 K lines), many
+        // modules, flat-ish profile.
+        "gcc" => SynthSpec {
+            modules: 10,
+            routines_per_module: (12, 22),
+            stmts_per_routine: (4, 12),
+            zipf_exponent: 0.9,
+            ..base("gcc", 0xcc)
+        },
+        // 129.compress: tiny kernel, extreme hot spot.
+        "compress" => SynthSpec {
+            modules: 2,
+            routines_per_module: (5, 8),
+            zipf_exponent: 2.2,
+            ..base("compress", 0xc0)
+        },
+        // 130.li: lisp interpreter, deep small-routine call chains —
+        // the classic inlining winner.
+        "li" => SynthSpec {
+            modules: 3,
+            routines_per_module: (10, 16),
+            stmts_per_routine: (2, 5),
+            zipf_exponent: 1.5,
+            levels: 7,
+            ..base("li", 0x11)
+        },
+        // 132.ijpeg: image codec, float-heavy inner kernels.
+        "ijpeg" => SynthSpec {
+            modules: 5,
+            float_module_frac: 0.6,
+            zipf_exponent: 1.7,
+            ..base("ijpeg", 0x19)
+        },
+        // 134.perl: interpreter, mixed profile.
+        "perl" => SynthSpec {
+            modules: 6,
+            routines_per_module: (10, 18),
+            zipf_exponent: 1.3,
+            ..base("perl", 0x9e)
+        },
+        // 147.vortex: object database, many cross-module calls.
+        "vortex" => SynthSpec {
+            modules: 7,
+            routines_per_module: (10, 18),
+            cross_module_frac: 0.65,
+            zipf_exponent: 1.4,
+            ..base("vortex", 0x40)
+        },
+        other => panic!("unknown SPEC preset `{other}`"),
+    }
+}
+
+/// All eight SPEC-like specs in Figure 1 order.
+#[must_use]
+pub fn spec_suite() -> Vec<SynthSpec> {
+    SPEC_NAMES.iter().map(|n| spec_preset(n)).collect()
+}
+
+/// An MCAD-like preset.
+///
+/// * `mcad1`: ~5 M lines of C in the paper — here the largest
+///   C-flavored app, strong hot spot (the 71 % headline program).
+/// * `mcad2`: ~6.5 M mixed C/Fortran/C++ — here a heavy float-module
+///   mix.
+/// * `mcad3`: ~9 M lines of C++ — here the largest app overall.
+///
+/// `scale` multiplies the module count (1.0 = the default benchmark
+/// scale; the Figure 4 sweep regenerates at increasing scales).
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+#[must_use]
+pub fn mcad_preset(name: &str, scale: f64) -> SynthSpec {
+    let spec = match name {
+        "mcad1" => SynthSpec {
+            modules: 48,
+            routines_per_module: (14, 26),
+            stmts_per_routine: (2, 6),
+            cross_module_frac: 0.5,
+            zipf_exponent: 2.2,
+            workload_iters: 2500,
+            train_divergence: 0.0, // trained and benchmarked on the same data (§2)
+            float_module_frac: 0.05,
+            levels: 6,
+            ..base("mcad1", 0x3CAD1)
+        },
+        "mcad2" => SynthSpec {
+            modules: 56,
+            routines_per_module: (12, 24),
+            float_module_frac: 0.45,
+            zipf_exponent: 1.5,
+            workload_iters: 2500,
+            train_divergence: 0.0,
+            levels: 6,
+            ..base("mcad2", 0x3CAD2)
+        },
+        "mcad3" => SynthSpec {
+            modules: 72,
+            routines_per_module: (14, 24),
+            float_module_frac: 0.25,
+            zipf_exponent: 1.4,
+            workload_iters: 2000,
+            train_divergence: 0.0,
+            levels: 6,
+            ..base("mcad3", 0x3CAD3)
+        },
+        other => panic!("unknown MCAD preset `{other}`"),
+    };
+    let modules = ((spec.modules as f64) * scale).round().max(1.0) as usize;
+    SynthSpec { modules, ..spec }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn every_spec_preset_generates() {
+        for spec in spec_suite() {
+            let app = generate(&spec);
+            assert!(app.modules.len() >= 3, "{}", spec.name);
+            assert!(app.total_lines > 100, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn relative_sizes_match_the_paper() {
+        let gcc = generate(&spec_preset("gcc"));
+        let compress = generate(&spec_preset("compress"));
+        let mcad1 = generate(&mcad_preset("mcad1", 1.0));
+        let mcad3 = generate(&mcad_preset("mcad3", 1.0));
+        assert!(gcc.total_lines > 3 * compress.total_lines);
+        assert!(mcad1.total_lines > 3 * gcc.total_lines);
+        assert!(mcad3.total_lines > mcad1.total_lines);
+    }
+
+    #[test]
+    fn scaling_grows_mcad() {
+        let half = generate(&mcad_preset("mcad1", 0.25));
+        let full = generate(&mcad_preset("mcad1", 1.0));
+        assert!(full.total_lines > 2 * half.total_lines);
+    }
+
+    #[test]
+    fn mcad2_is_mixed_language() {
+        let app = generate(&mcad_preset("mcad2", 0.5));
+        let f77 = app
+            .modules
+            .iter()
+            .filter(|(_, src)| src.contains("f77-flavored"))
+            .count();
+        let c = app
+            .modules
+            .iter()
+            .filter(|(_, src)| src.contains("c-flavored"))
+            .count();
+        assert!(f77 >= 3 && c >= 3, "f77={f77} c={c}");
+    }
+}

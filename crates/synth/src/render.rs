@@ -1,0 +1,238 @@
+//! Rendering the structural model to MLC source text.
+
+use crate::{ModuleModel, SynthSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+fn routine_name(m: usize, r: usize) -> String {
+    format!("m{m}_r{r}")
+}
+
+fn params_decl(arity: usize) -> String {
+    (0..arity)
+        .map(|i| format!("p{i}: int"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Renders the module defining `main` with its dispatch loop.
+pub(crate) fn render_main(
+    spec: &SynthSpec,
+    modules: &[ModuleModel],
+    n_entries: usize,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "// {}: synthetic driver module", spec.name);
+    #[allow(clippy::needless_range_loop)]
+    for m in 0..n_entries {
+        let arity = modules[m].routines[0].arity;
+        let _ = writeln!(
+            s,
+            "extern fn {}({}) -> int;",
+            routine_name(m, 0),
+            params_decl(arity)
+        );
+    }
+    let _ = writeln!(s, "fn main() -> int {{");
+    let _ = writeln!(s, "    var n: int = input();");
+    let _ = writeln!(s, "    var it: int = 0;");
+    let _ = writeln!(s, "    var acc: int = 0;");
+    let _ = writeln!(s, "    while (it < n) {{");
+    let _ = writeln!(s, "        var sel: int = input();");
+    #[allow(clippy::needless_range_loop)]
+    for m in 0..n_entries {
+        let arity = modules[m].routines[0].arity;
+        let mut args = vec!["it % 17".to_owned()];
+        for k in 1..arity {
+            args.push(format!("{}", (m + k) % 5));
+        }
+        let prefix = if m == 0 { "if" } else { "else if" };
+        let _ = writeln!(
+            s,
+            "        {prefix} (sel == {m}) {{ acc = acc + {}({}); }}",
+            routine_name(m, 0),
+            args.join(", ")
+        );
+    }
+    let _ = writeln!(s, "        else {{ acc = acc + 1; }}");
+    let _ = writeln!(s, "        it = it + 1;");
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "    output(acc);");
+    let _ = writeln!(s, "    return acc % 1000000;");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Renders one library module.
+pub(crate) fn render_module(
+    spec: &SynthSpec,
+    modules: &[ModuleModel],
+    m: usize,
+    model: &ModuleModel,
+) -> String {
+    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x9e37 ^ (m as u64) << 20);
+    let mut s = String::new();
+    let lang = if model.float_flavored { "f77" } else { "c" };
+    let _ = writeln!(s, "// module m{m} ({lang}-flavored)");
+
+    // Module globals: read-only config (IP const-prop fodder),
+    // internal state, write-only log (dead-store fodder), data table.
+    let cfg_val = rng.gen_range(1..100);
+    let _ = writeln!(s, "global m{m}_cfg: int = {cfg_val};");
+    let _ = writeln!(s, "static m{m}_state: int = 0;");
+    let _ = writeln!(s, "global m{m}_log: int = 0;");
+    let len = model.array_len;
+    let init: Vec<String> = (0..4.min(len))
+        .map(|i| format!("{}", (i * 3 + 1) % 17))
+        .collect();
+    let _ = writeln!(s, "static m{m}_tab: int[{len}] = [{}];", init.join(", "));
+
+    // Extern declarations for cross-module references.
+    let mut extern_fns: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut extern_cfgs: BTreeSet<usize> = BTreeSet::new();
+    for r in &model.routines {
+        for c in &r.calls {
+            if c.module != m {
+                extern_fns.insert((c.module, c.index));
+            }
+        }
+        if let Some(k) = r.reads_foreign_cfg {
+            if k != m {
+                extern_cfgs.insert(k);
+            }
+        }
+    }
+    for (cm, cr) in &extern_fns {
+        let arity = modules[*cm].routines[*cr].arity;
+        let _ = writeln!(
+            s,
+            "extern fn {}({}) -> int;",
+            routine_name(*cm, *cr),
+            params_decl(arity)
+        );
+    }
+    for k in &extern_cfgs {
+        let _ = writeln!(s, "extern global m{k}_cfg: int;");
+    }
+    let _ = writeln!(s);
+
+    for r in &model.routines {
+        let kw = if r.exported { "fn" } else { "static fn" };
+        let _ = writeln!(
+            s,
+            "{kw} {}({}) -> int {{",
+            routine_name(m, r.index),
+            params_decl(r.arity)
+        );
+        let trip = rng.gen_range(1..4);
+        if model.float_flavored {
+            let _ = writeln!(s, "    var f: float = float(p0) * 1.5 + 0.25;");
+            let _ = writeln!(s, "    var i: int = 0;");
+            let _ = writeln!(s, "    while (i < {trip}) {{");
+            for k in 0..r.stmts {
+                match (k + rng.gen_range(0..4)) % 4 {
+                    0 => {
+                        let c = rng.gen_range(2..9);
+                        let _ = writeln!(s, "        f = f * 1.0625 + float(i * {c});");
+                    }
+                    1 => {
+                        let _ = writeln!(s, "        f = f - float(i) / 3.5;");
+                    }
+                    2 => {
+                        let a = rng.gen_range(2..9);
+                        let _ = writeln!(s, "        f = f + (2.25 * {a}.0 - 1.5);");
+                    }
+                    _ => {
+                        let _ = writeln!(s, "        if (f > 1000000.0) {{ f = f / 2.0; }}");
+                    }
+                }
+            }
+            let _ = writeln!(s, "        i = i + 1;");
+            let _ = writeln!(s, "    }}");
+            let _ = writeln!(s, "    var acc: int = int(f) % 32768;");
+        } else {
+            let mut acc_init = "p0".to_owned();
+            for k in 1..r.arity {
+                acc_init = format!("{acc_init} + p{k}");
+            }
+            let _ = writeln!(s, "    var acc: int = {acc_init};");
+            let _ = writeln!(s, "    var i: int = 0;");
+            let _ = writeln!(s, "    m{m}_state = m{m}_state + 1;");
+            let last = r.arity - 1;
+            let k1 = rng.gen_range(1..50);
+            let k2 = rng.gen_range(2..48);
+            let _ = writeln!(s, "    while (i < {trip}) {{");
+            // A mode switch on the last parameter *inside* the hot
+            // loop, with an expensive general arm: when inlining
+            // propagates a constant argument, the switch folds and the
+            // division disappears — the paper's
+            // inlining-enables-optimization effect.
+            let _ = writeln!(s, "        if (p{last} == 0) {{ acc = acc + {k1}; }}");
+            let _ = writeln!(
+                s,
+                "        else {{ acc = acc + (acc / (p{last} + {k2})) % ({k1} + 1); }}"
+            );
+            for k in 0..r.stmts {
+                match (k + rng.gen_range(0..5)) % 5 {
+                    0 => {
+                        let a = rng.gen_range(2..13);
+                        let b = rng.gen_range(3..31);
+                        let _ = writeln!(s, "        acc = acc + (i * {a} + p0) % {b};");
+                    }
+                    1 => {
+                        let _ = writeln!(s, "        acc = acc + m{m}_tab[acc % {len}];");
+                    }
+                    2 => {
+                        let _ = writeln!(s, "        m{m}_tab[i % {len}] = acc % 255;");
+                    }
+                    3 => {
+                        let c = rng.gen_range(1..6);
+                        let _ =
+                            writeln!(s, "        acc = (acc * {c} + i) % 1048576;");
+                    }
+                    _ => {
+                        // Manifest-constant arithmetic (C macros and
+                        // named constants): folds at +O2, executes
+                        // mul/div at +O1.
+                        let a = rng.gen_range(3..20);
+                        let b = rng.gen_range(3..20);
+                        let c = rng.gen_range(5..40);
+                        let _ = writeln!(s, "        acc = acc + {a} * {b} % {c};");
+                    }
+                }
+            }
+            let _ = writeln!(s, "        i = i + 1;");
+            let _ = writeln!(s, "    }}");
+        }
+        let _ = writeln!(s, "    acc = acc + m{m}_cfg;");
+        if let Some(k) = r.reads_foreign_cfg {
+            let _ = writeln!(s, "    acc = acc + m{k}_cfg;");
+        }
+        let _ = writeln!(s, "    m{m}_log = acc;");
+        for c in &r.calls {
+            let callee = routine_name(c.module, c.index);
+            let args: Vec<String> = c
+                .const_args
+                .iter()
+                .enumerate()
+                .map(|(i, ca)| match ca {
+                    Some(k) => format!("{k}"),
+                    None => format!("acc % {} + {}", 7 + i, i + 1),
+                })
+                .collect();
+            let call = format!("acc = acc + {callee}({});", args.join(", "));
+            if c.biased_guard {
+                // Biased ~15/16 taken: layout fodder.
+                let _ = writeln!(s, "    if (acc % 16 != 0) {{ {call} }}");
+            } else {
+                let _ = writeln!(s, "    {call}");
+            }
+        }
+        let _ = writeln!(s, "    return acc % 65536;");
+        let _ = writeln!(s, "}}");
+        let _ = writeln!(s);
+    }
+    s
+}

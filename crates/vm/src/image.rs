@@ -1,0 +1,133 @@
+//! Linked executable images.
+
+use crate::minstr::MInstr;
+use cmo_profile::{ProbeKey, ProfileDb, RoutineShape};
+
+/// Per-routine information in a linked image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MRoutineInfo {
+    /// Routine name (for diagnostics and profile keys).
+    pub name: String,
+    /// Entry address (index into [`MachineImage::code`]).
+    pub entry: u32,
+    /// Frame slots (locals, arrays, spills) to allocate per activation.
+    pub frame_slots: u32,
+    /// Code length in instructions.
+    pub code_len: u32,
+}
+
+/// A fully linked executable image.
+///
+/// Code addresses are indices into `code`; the order in which the
+/// linker concatenated routines *is* the program layout, which the
+/// i-cache simulation observes — this is where profile-guided
+/// procedure clustering (§3, [13, 15]) becomes measurable.
+#[derive(Debug, Clone, Default)]
+pub struct MachineImage {
+    /// All instructions, concatenated in layout order.
+    pub code: Vec<MInstr>,
+    /// Routine table; `Call { routine }` operands index this.
+    pub routines: Vec<MRoutineInfo>,
+    /// Initial global memory (flat cells).
+    pub globals: Vec<u64>,
+    /// Probe table (empty unless instrumented).
+    pub probes: Vec<ProbeKey>,
+    /// Instrumentation-time routine shapes (parallel to probe data).
+    pub shapes: Vec<(String, RoutineShape)>,
+    /// Index of the entry routine (`main`) in `routines`.
+    pub entry_routine: u32,
+}
+
+impl MachineImage {
+    /// Total code size in instructions.
+    #[must_use]
+    pub fn code_size(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Returns `true` if the image carries probes.
+    #[must_use]
+    pub fn is_instrumented(&self) -> bool {
+        !self.probes.is_empty()
+    }
+
+    /// Finds a routine by name.
+    #[must_use]
+    pub fn find_routine(&self, name: &str) -> Option<u32> {
+        self.routines
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| i as u32)
+    }
+}
+
+/// Builds a profile database from the probe counters of one run of an
+/// instrumented image.
+///
+/// # Panics
+///
+/// Panics if `counts` does not match the image's probe table length.
+#[must_use]
+pub fn profile_from_run(image: &MachineImage, counts: &[u64]) -> ProfileDb {
+    assert_eq!(
+        counts.len(),
+        image.probes.len(),
+        "probe counter vector must match the image probe table"
+    );
+    let mut db = ProfileDb::new();
+    let pairs: Vec<(ProbeKey, u64)> = image
+        .probes
+        .iter()
+        .cloned()
+        .zip(counts.iter().copied())
+        .collect();
+    db.record(&pairs, &image.shapes);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_from_run_maps_counts() {
+        let image = MachineImage {
+            probes: vec![ProbeKey::block("f", 0), ProbeKey::site("f", 0)],
+            shapes: vec![(
+                "f".to_owned(),
+                RoutineShape {
+                    n_blocks: 1,
+                    n_sites: 1,
+                    fingerprint: 9,
+                },
+            )],
+            ..MachineImage::default()
+        };
+        let db = profile_from_run(&image, &[42, 17]);
+        assert_eq!(db.block_count("f", 0), Some(42));
+        assert_eq!(db.site_count("f", 0), Some(17));
+    }
+
+    #[test]
+    #[should_panic(expected = "probe counter vector")]
+    fn mismatched_counts_panic() {
+        let image = MachineImage::default();
+        let _ = profile_from_run(&image, &[1]);
+    }
+
+    #[test]
+    fn find_routine_by_name() {
+        let image = MachineImage {
+            routines: vec![MRoutineInfo {
+                name: "main".to_owned(),
+                entry: 0,
+                frame_slots: 0,
+                code_len: 1,
+            }],
+            ..MachineImage::default()
+        };
+        assert_eq!(image.find_routine("main"), Some(0));
+        assert_eq!(image.find_routine("other"), None);
+        assert!(!image.is_instrumented());
+    }
+}

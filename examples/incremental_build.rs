@@ -1,0 +1,91 @@
+//! `make`-compatible incremental builds and stale profiles (§6.1–6.2).
+//!
+//! Persistent information lives only in object files and the profile
+//! database; editing one module recompiles just that module, and the
+//! next optimize-link rebuilds program-wide information from scratch.
+//! Profile data recorded before an edit keeps working — the compiler
+//! correlates it with the current code and degrades gracefully where
+//! the shape changed.
+//!
+//! Run with `cargo run --release --example incremental_build`.
+
+use cmo::{BuildOptions, OptLevel, Project};
+
+fn main() -> Result<(), cmo::BuildError> {
+    let mut project = Project::new();
+    project.update_source(
+        "engine",
+        r#"
+        global rate: int = 3;
+        fn step(x: int) -> int { return (x * rate + 1) % 9973; }
+        "#,
+    )?;
+    project.update_source(
+        "app",
+        r#"
+        extern fn step(x: int) -> int;
+        fn main() -> int {
+            var n: int = input();
+            var acc: int = 1;
+            var i: int = 0;
+            while (i < n) { acc = step(acc); i = i + 1; }
+            output(acc);
+            return acc;
+        }
+        "#,
+    )?;
+    println!("initial build: {} frontend compiles", project.recompiles());
+    let workload = vec![20_000_i64];
+
+    // Train once.
+    let db = project
+        .build(&BuildOptions::instrumented())?
+        .run_for_profile(&workload)?;
+
+    let v1 = project.build(
+        &BuildOptions::new(OptLevel::O4).with_profile_db(db.clone()),
+    )?;
+    let r1 = v1.run(&workload)?;
+    println!("v1: {} cycles, returned {}", r1.cycles, r1.returned);
+
+    // Touch only the engine module (like `make` after one file edit).
+    let recompiled = project.update_source(
+        "engine",
+        r#"
+        global rate: int = 5;
+        fn step(x: int) -> int { return (x * rate + 2) % 9973; }
+        "#,
+    )?;
+    println!(
+        "after edit: recompiled engine = {recompiled}, total frontend compiles = {}",
+        project.recompiles()
+    );
+
+    // Rebuild with the OLD profile: §6.2's stale-profile tolerance —
+    // the compiler correlates what still matches and carries on.
+    let v2 = project.build(&BuildOptions::new(OptLevel::O4).with_profile_db(db))?;
+    let r2 = v2.run(&workload)?;
+    println!(
+        "v2 (stale profile): {} cycles, returned {} (different code, still optimized: {} inlines)",
+        r2.cycles, r2.returned, v2.report.hlo.inlines
+    );
+    assert_ne!(r1.returned, r2.returned, "the edit changed behaviour");
+
+    // Unchanged sources never recompile.
+    let again = project.update_source(
+        "app",
+        r#"
+        extern fn step(x: int) -> int;
+        fn main() -> int {
+            var n: int = input();
+            var acc: int = 1;
+            var i: int = 0;
+            while (i < n) { acc = step(acc); i = i + 1; }
+            output(acc);
+            return acc;
+        }
+        "#,
+    )?;
+    println!("re-adding identical app source: recompiled = {again}");
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Quickstart: the full CMO+PBO cycle on a small two-module program.
+//!
+//! Mirrors the paper's developer workflow (§3):
+//!  1. compile modules to IL objects (`+O2 +I` instrumented build),
+//!  2. run on training input to populate the profile database,
+//!  3. rebuild with `+O4 +P` — the linker routes the IL objects
+//!     through the cross-module optimizer with profile guidance,
+//!  4. compare against the `+O2` baseline.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use cmo::{BuildOptions, Compiler, OptLevel};
+
+const MATHLIB: &str = r#"
+    // A "library" module: small routines, perfect inlining fodder.
+    global calls_served: int = 0;
+
+    fn clamp(x: int, lo: int, hi: int) -> int {
+        calls_served = calls_served + 1;
+        if (x < lo) { return lo; }
+        if (hi < x) { return hi; }
+        return x;
+    }
+
+    fn wrap_mix(x: int, mode: int) -> int {
+        calls_served = calls_served + 1;
+        if (mode == 0) { return (x * 31 + 7) % 65536; }
+        return (x * 17 + mode) % 65521;
+    }
+"#;
+
+const APP: &str = r#"
+    extern fn clamp(x: int, lo: int, hi: int) -> int;
+    extern fn wrap_mix(x: int, mode: int) -> int;
+
+    fn main() -> int {
+        var n: int = input();
+        var acc: int = 1;
+        var i: int = 0;
+        while (i < n) {
+            // Hot cross-module calls; `mode` is a compile-time
+            // constant, so inlining + propagation specializes wrap_mix.
+            acc = wrap_mix(acc + i, 0);
+            acc = clamp(acc, 0, 60000);
+            i = i + 1;
+        }
+        output(acc);
+        return acc;
+    }
+"#;
+
+fn main() -> Result<(), cmo::BuildError> {
+    let mut cc = Compiler::new();
+    cc.add_source("mathlib", MATHLIB)?;
+    cc.add_source("app", APP)?;
+    let workload: Vec<i64> = vec![50_000];
+
+    // Step 1+2: instrumented build, training run, profile database.
+    let instrumented = cc.build(&BuildOptions::instrumented())?;
+    let db = instrumented.run_for_profile(&workload)?;
+    println!(
+        "trained profile: main entry count = {}",
+        db.entry_count("main")
+    );
+
+    // Step 3: the optimized builds.
+    let o2 = cc.build(&BuildOptions::o2())?;
+    let best = cc.build(&BuildOptions::new(OptLevel::O4).with_profile_db(db))?;
+    println!(
+        "+O4 +P did {} cross-module inlines, folded {} global loads",
+        best.report.hlo.inlines, best.report.hlo.globals_folded
+    );
+
+    // Step 4: compare.
+    let r2 = o2.run(&workload)?;
+    let rb = best.run(&workload)?;
+    assert_eq!(r2.checksum, rb.checksum, "optimization must preserve results");
+    println!("+O2     : {:>12} cycles ({} calls executed)", r2.cycles, r2.calls);
+    println!("+O4 +P  : {:>12} cycles ({} calls executed)", rb.cycles, rb.calls);
+    println!(
+        "speedup : {:.2}x (the paper reports up to 1.71x on 5 MLoC apps)",
+        r2.cycles as f64 / rb.cycles as f64
+    );
+    Ok(())
+}

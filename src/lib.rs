@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Umbrella crate for the *Scalable Cross-Module Optimization*
+//! reproduction.
+//!
+//! This crate re-exports every workspace member under one roof so the
+//! root-level examples and integration tests can exercise the whole
+//! system. Library users should usually depend on the individual
+//! crates — [`cmo`] is the driver facade; the rest are its substrates:
+//!
+//! * [`cmo_naim`] — the not-all-in-memory loader, compaction, and
+//!   repository (§4 of the paper);
+//! * [`cmo_ir`] — the common IL, object files, and IL linking (§3);
+//! * [`cmo_frontend`] — the MLC language frontend;
+//! * [`cmo_profile`] — the PBO profile database (§3, §6.2);
+//! * [`cmo_hlo`] — cross-module inlining and interprocedural analysis;
+//! * [`cmo_llo`] — local optimization, register allocation, layout;
+//! * [`cmo_select`] — profile-driven selectivity (§5);
+//! * [`cmo_link`] — image assembly and procedure clustering;
+//! * [`cmo_vm`] — the abstract target machine (the PA-8000 stand-in);
+//! * [`cmo_synth`] — synthetic SPEC/MCAD-like applications (§2, §6.4).
+
+pub mod harness;
+
+pub use cmo;
+pub use cmo_frontend;
+pub use cmo_hlo;
+pub use cmo_ir;
+pub use cmo_link;
+pub use cmo_llo;
+pub use cmo_naim;
+pub use cmo_profile;
+pub use cmo_select;
+pub use cmo_synth;
+pub use cmo_vm;

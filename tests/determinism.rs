@@ -1,0 +1,82 @@
+//! §6.2 reproducibility: "the compiler must behave in exactly the same
+//! way when compiling the same piece of code, using the same profile
+//! data, on a machine with the same memory configuration from run to
+//! run." Nothing in this system hashes or sorts on addresses; these
+//! tests pin that discipline down.
+
+use cmo::{BuildOptions, Compiler, NaimConfig, OptLevel};
+use cmo_repro::harness::{compiler_for, train_profile};
+use cmo_synth::{generate, spec_preset, SynthSpec};
+
+fn images_equal(a: &cmo::BuildOutput, b: &cmo::BuildOutput) -> bool {
+    a.image.code == b.image.code
+        && a.image.globals == b.image.globals
+        && a.image.entry_routine == b.image.entry_routine
+}
+
+#[test]
+fn identical_inputs_give_identical_images_at_every_level() {
+    let app = generate(&SynthSpec::small("det", 77));
+    let cc = compiler_for(&app).unwrap();
+    let db = train_profile(&cc, &app.train_input).unwrap();
+    for opts in [
+        BuildOptions::new(OptLevel::O1),
+        BuildOptions::o2(),
+        BuildOptions::instrumented(),
+        BuildOptions::o2().with_profile_db(db.clone()),
+        BuildOptions::new(OptLevel::O4),
+        BuildOptions::new(OptLevel::O4)
+            .with_profile_db(db.clone())
+            .with_selectivity(30.0),
+    ] {
+        let a = cc.build(&opts).unwrap();
+        let b = cc.build(&opts).unwrap();
+        assert!(images_equal(&a, &b), "nondeterministic build at {opts:?}");
+        assert_eq!(a.report.hlo, b.report.hlo);
+    }
+}
+
+#[test]
+fn module_registration_order_is_what_matters_not_time() {
+    // Two separately constructed compilers with the same sources give
+    // identical images.
+    let build = || {
+        let mut cc = Compiler::new();
+        cc.add_source("b", "fn helper(x: int) -> int { return x * 2; }")
+            .unwrap();
+        cc.add_source(
+            "a",
+            "extern fn helper(x: int) -> int;\nfn main() -> int { return helper(21); }",
+        )
+        .unwrap();
+        cc.build(&BuildOptions::new(OptLevel::O4)).unwrap()
+    };
+    let x = build();
+    let y = build();
+    assert!(images_equal(&x, &y));
+}
+
+#[test]
+fn profile_runs_are_deterministic() {
+    let app = generate(&spec_preset("compress"));
+    let cc = compiler_for(&app).unwrap();
+    let a = train_profile(&cc, &app.train_input).unwrap();
+    let b = train_profile(&cc, &app.train_input).unwrap();
+    assert_eq!(a, b, "profile collection must be reproducible");
+}
+
+#[test]
+fn naim_memory_configuration_changes_nothing_but_effort() {
+    let app = generate(&SynthSpec::small("naim-det", 5));
+    let cc = compiler_for(&app).unwrap();
+    let roomy = cc
+        .build(&BuildOptions::new(OptLevel::O4).with_naim(NaimConfig::with_budget(1 << 30)))
+        .unwrap();
+    let tight = cc
+        .build(&BuildOptions::new(OptLevel::O4).with_naim(NaimConfig::with_budget(16 << 10)))
+        .unwrap();
+    assert!(images_equal(&roomy, &tight));
+    // The tight build did real NAIM work; the roomy one did none.
+    assert!(tight.report.loader.compactions > 0);
+    assert_eq!(roomy.report.loader.compactions, 0);
+}

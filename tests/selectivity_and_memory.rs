@@ -1,0 +1,167 @@
+//! Integration tests for §5 (selectivity) and §4 (memory behaviour)
+//! claims that span crates.
+
+use cmo::{BuildOptions, NaimConfig, OptLevel};
+use cmo_repro::harness::{compiler_for, train_profile};
+use cmo_synth::{generate, mcad_preset, SynthSpec};
+
+#[test]
+fn selectivity_grows_monotonically_with_percentage() {
+    let app = generate(&mcad_preset("mcad1", 0.2));
+    let cc = compiler_for(&app).unwrap();
+    let db = train_profile(&cc, &app.train_input).unwrap();
+
+    let mut prev_loc = 0;
+    let mut prev_sites = 0;
+    for sel in [0.0, 10.0, 30.0, 60.0, 100.0] {
+        let out = cc
+            .build(
+                &BuildOptions::new(OptLevel::O4)
+                    .with_profile_db(db.clone())
+                    .with_selectivity(sel),
+            )
+            .unwrap();
+        assert!(
+            out.report.cmo_loc >= prev_loc,
+            "CMO LoC must grow with the selection percentage"
+        );
+        assert!(out.report.cmo_modules >= prev_sites);
+        prev_loc = out.report.cmo_loc;
+        prev_sites = out.report.cmo_modules;
+    }
+    assert_eq!(prev_loc, app.total_lines, "100% selects everything");
+}
+
+#[test]
+fn zero_selectivity_bypasses_hlo_transformations() {
+    let app = generate(&SynthSpec::small("sel0", 3));
+    let cc = compiler_for(&app).unwrap();
+    let db = train_profile(&cc, &app.train_input).unwrap();
+    let out = cc
+        .build(
+            &BuildOptions::new(OptLevel::O4)
+                .with_profile_db(db)
+                .with_selectivity(0.0),
+        )
+        .unwrap();
+    assert_eq!(out.report.cmo_modules, 0);
+    assert_eq!(out.report.hlo.inlines, 0);
+}
+
+#[test]
+fn unselective_cmo_exhausts_a_hard_heap_limit() {
+    // §5: "we have never been able to compile all of Mcad1 without the
+    // help of profile data. Our best attempts exhaust the heap after
+    // allocating roughly 1GB." Reproduce with a scaled hard limit and
+    // NAIM disabled.
+    let app = generate(&mcad_preset("mcad1", 0.2));
+    let cc = compiler_for(&app).unwrap();
+    let result = cc.build(
+        &BuildOptions::new(OptLevel::O4)
+            .with_naim(NaimConfig::disabled().hard_limit(200 << 10)),
+    );
+    assert!(
+        matches!(result, Err(cmo::BuildError::Naim(_))),
+        "non-selective CMO under a hard heap limit must fail"
+    );
+
+    // The same program, same limit, with NAIM enabled: compiles fine.
+    let with_naim = cc.build(
+        &BuildOptions::new(OptLevel::O4)
+            .with_naim(NaimConfig::with_budget(150 << 10).hard_limit(400 << 10)),
+    );
+    assert!(
+        with_naim.is_ok(),
+        "NAIM must rescue the same compile: {:?}",
+        with_naim.err()
+    );
+}
+
+#[test]
+fn offloading_engages_under_extreme_pressure_and_stays_correct() {
+    let app = generate(&SynthSpec::small("squeeze", 9).with_modules(8));
+    let cc = compiler_for(&app).unwrap();
+    let squeezed = cc
+        .build(&BuildOptions::new(OptLevel::O4).with_naim(NaimConfig::with_budget(6 << 10)))
+        .unwrap();
+    assert!(
+        squeezed.report.loader.offload_writes > 0,
+        "expected disk offloading: {:?}",
+        squeezed.report.loader
+    );
+    let roomy = cc.build(&BuildOptions::new(OptLevel::O4)).unwrap();
+    let a = squeezed.run(&app.ref_input).unwrap();
+    let b = roomy.run(&app.ref_input).unwrap();
+    assert_eq!(a.checksum, b.checksum);
+}
+
+#[test]
+fn stale_profiles_still_build_and_run_correctly() {
+    // §6.2: old profile data keeps working as the code diverges.
+    let mut spec = SynthSpec::small("stale", 21);
+    let app_v1 = generate(&spec);
+    let cc_v1 = compiler_for(&app_v1).unwrap();
+    let db_v1 = train_profile(&cc_v1, &app_v1.train_input).unwrap();
+
+    // "Edit" the program: regenerate with a different seed — every
+    // routine's shape changes, so all profile entries go stale.
+    spec.seed = 22;
+    let app_v2 = generate(&spec);
+    let cc_v2 = compiler_for(&app_v2).unwrap();
+
+    let stale = cc_v2
+        .build(
+            &BuildOptions::new(OptLevel::O4)
+                .with_profile_db(db_v1)
+                .with_selectivity(50.0),
+        )
+        .unwrap();
+    let plain = cc_v2.build(&BuildOptions::o2()).unwrap();
+    let rs = stale.run(&app_v2.ref_input).unwrap();
+    let rp = plain.run(&app_v2.ref_input).unwrap();
+    assert_eq!(rs.checksum, rp.checksum, "stale profiles must never miscompile");
+}
+
+#[test]
+fn layered_strategy_builds_and_matches_behaviour() {
+    // §8 future work: multi-layered optimization levels.
+    let app = generate(&SynthSpec::small("layered", 31));
+    let cc = compiler_for(&app).unwrap();
+    let db = train_profile(&cc, &app.train_input).unwrap();
+    let mut opts = BuildOptions::new(OptLevel::O4)
+        .with_profile_db(db)
+        .with_selectivity(50.0);
+    opts.layered = true;
+    let layered = cc.build(&opts).unwrap();
+    let plain = cc.build(&BuildOptions::o2()).unwrap();
+    assert_eq!(
+        layered.run(&app.ref_input).unwrap().checksum,
+        plain.run(&app.ref_input).unwrap().checksum
+    );
+}
+
+#[test]
+fn mixed_language_modules_inline_into_each_other() {
+    // §3: "because HLO works at the IL level, it can freely optimize
+    // mixed-language applications."
+    let mut spec = SynthSpec::small("mixed", 41);
+    spec.float_module_frac = 0.5;
+    spec.modules = 6;
+    let app = generate(&spec);
+    let cc = compiler_for(&app).unwrap();
+    let db = train_profile(&cc, &app.train_input).unwrap();
+    let out = cc
+        .build(
+            &BuildOptions::new(OptLevel::O4)
+                .with_profile_db(db)
+                .with_selectivity(100.0),
+        )
+        .unwrap();
+    assert!(out.report.hlo.inlines > 0);
+    let f77 = app
+        .modules
+        .iter()
+        .filter(|(_, s)| s.contains("f77-flavored"))
+        .count();
+    assert!(f77 >= 1, "fixture must actually be mixed-language");
+}

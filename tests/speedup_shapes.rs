@@ -1,0 +1,61 @@
+//! Integration test: the Figure 1 result *shapes* hold end-to-end.
+//!
+//! The paper's headline (§2, Figure 1): every program speeds up to
+//! some degree at the aggressive levels; CMO+PBO is the best
+//! configuration; the big MCAD-style applications benefit at least as
+//! much as small benchmarks. We assert the ordering and rough
+//! magnitudes, not the paper's absolute numbers (our substrate is a
+//! simulator, not a 180 MHz PA-8000).
+
+use cmo_repro::harness::measure_levels;
+use cmo_synth::{generate, mcad_preset, spec_preset, SynthSpec};
+
+#[test]
+fn small_benchmark_orderings_hold() {
+    let app = generate(&spec_preset("compress"));
+    let cycles = measure_levels(&app, 100.0).unwrap();
+
+    // O2 beats O1 (global vs block-local optimization).
+    assert!(cycles.o2 < cycles.o1, "{cycles:?}");
+    // CMO+PBO is the best configuration.
+    assert!(cycles.o4_pbo < cycles.o2, "{cycles:?}");
+    assert!(cycles.o4_pbo <= cycles.o2_pbo, "{cycles:?}");
+    assert!(cycles.o4_pbo <= cycles.o4, "{cycles:?}");
+    // Meaningful magnitude: at least a few percent, and sane (< 5x).
+    let best = cycles.speedup(cycles.o4_pbo);
+    assert!(best > 1.05, "CMO+PBO speedup only {best:.3}: {cycles:?}");
+    assert!(best < 5.0, "implausible speedup {best:.3}");
+}
+
+#[test]
+fn pbo_alone_helps() {
+    let app = generate(&spec_preset("li"));
+    let cycles = measure_levels(&app, 100.0).unwrap();
+    assert!(
+        cycles.o2_pbo < cycles.o2,
+        "profile-guided layout + clustering should pay: {cycles:?}"
+    );
+}
+
+#[test]
+fn mcad_style_app_gets_large_combined_speedup() {
+    // A scaled-down Mcad1; selectivity at 20% of call sites, the
+    // paper's sweet spot.
+    let app = generate(&mcad_preset("mcad1", 0.25));
+    let cycles = measure_levels(&app, 20.0).unwrap();
+    let best = cycles.speedup(cycles.o4_pbo);
+    assert!(
+        best > 1.05,
+        "MCAD-style CMO+PBO speedup only {best:.3}: {cycles:?}"
+    );
+    assert!(cycles.o4_pbo < cycles.o2_pbo, "{cycles:?}");
+}
+
+#[test]
+fn speedups_are_deterministic() {
+    let spec = SynthSpec::small("det", 5);
+    let app = generate(&spec);
+    let a = measure_levels(&app, 50.0).unwrap();
+    let b = measure_levels(&app, 50.0).unwrap();
+    assert_eq!(a, b);
+}

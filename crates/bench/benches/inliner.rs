@@ -27,9 +27,7 @@ fn bench_inliner(c: &mut Criterion) {
                 let unit = link_objects(objects.clone()).unwrap();
                 HloSession::new(unit, NaimConfig::default(), Some(&db)).unwrap()
             },
-            |mut session| {
-                black_box(inline_pass(&mut session, &InlineOptions::default()).unwrap())
-            },
+            |mut session| black_box(inline_pass(&mut session, &InlineOptions::default()).unwrap()),
             BatchSize::LargeInput,
         )
     });

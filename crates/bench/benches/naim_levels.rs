@@ -38,9 +38,7 @@ fn bench_naim_levels(c: &mut Criterion) {
             .with_profile_db(db.clone())
             .with_selectivity(100.0)
             .with_naim(naim);
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(cc.build(&opts).unwrap()))
-        });
+        group.bench_function(name, |b| b.iter(|| black_box(cc.build(&opts).unwrap())));
     }
     group.finish();
 }

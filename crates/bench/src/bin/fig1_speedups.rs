@@ -32,8 +32,7 @@ fn main() {
 
     for (spec, sel, baseline_o1) in suite {
         let app = generate(&spec);
-        let [o1, o2, o2p, o4, o4p] =
-            measure_standard_levels(&app, sel).expect("build and run");
+        let [o1, o2, o2p, o4, o4p] = measure_standard_levels(&app, sel).expect("build and run");
         let base = if baseline_o1 { o1.cycles } else { o2.cycles };
         let s = |m: &cmo_bench::Measured| base as f64 / m.cycles as f64;
         println!(

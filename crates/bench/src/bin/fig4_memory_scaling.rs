@@ -42,9 +42,9 @@ fn main() {
             .with_naim(NaimConfig::disabled());
         let without = measure(&cc, &app, &off).expect("naim-off build");
 
-        let hlo_peak = with_naim.output.report.peak_memory.peak_total;
-        let hlo_off = without.output.report.peak_memory.peak_total;
-        let overall = hlo_peak + with_naim.output.report.llo_peak_bytes;
+        let hlo_peak = with_naim.report.peak_bytes();
+        let hlo_off = without.report.peak_bytes();
+        let overall = hlo_peak + with_naim.report.llo_peak_bytes;
         let per_line = hlo_peak as f64 / app.total_lines as f64;
         println!(
             "{:>8} {:>12} {:>12} {:>12} {:>10.1} {:>12}",
@@ -53,7 +53,7 @@ fn main() {
             hlo_off,
             overall,
             per_line,
-            with_naim.output.report.loader.offload_writes,
+            with_naim.report.loader.offload_writes,
         );
         rows.push(format!(
             "{},{},{},{},{:.2},{}",
@@ -62,9 +62,12 @@ fn main() {
             hlo_off,
             overall,
             per_line,
-            with_naim.output.report.loader.offload_writes
+            with_naim.report.loader.offload_writes
         ));
-        assert_eq!(with_naim.checksum, without.checksum, "NAIM must not change code");
+        assert_eq!(
+            with_naim.checksum, without.checksum,
+            "NAIM must not change code"
+        );
     }
     write_csv(
         "fig4_memory_scaling.csv",

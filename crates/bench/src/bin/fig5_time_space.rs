@@ -55,11 +55,11 @@ fn main() {
             .with_selectivity(100.0)
             .with_naim(naim);
         let m = measure(&cc, &app, &opts).expect("build");
-        let report = &m.output.report;
+        let report = &m.report;
         println!(
             "{:<14} {:>12} {:>10.1} {:>12} {:>10} {:>10} {:>9}",
             name,
-            report.peak_memory.peak_total,
+            report.peak_bytes(),
             m.compile_ms,
             report.loader.work_units,
             report.loader.compactions,
@@ -69,7 +69,7 @@ fn main() {
         rows.push(format!(
             "{},{},{:.2},{},{},{},{}",
             name,
-            report.peak_memory.peak_total,
+            report.peak_bytes(),
             m.compile_ms,
             report.loader.work_units,
             report.loader.compactions,

@@ -21,8 +21,8 @@ fn main() {
     let db = train(&cc, &app).expect("train");
 
     // The PBO-only baseline the sweep is drawn against (+O2 +P).
-    let base = measure(&cc, &app, &BuildOptions::o2().with_profile_db(db.clone()))
-        .expect("baseline");
+    let base =
+        measure(&cc, &app, &BuildOptions::o2().with_profile_db(db.clone())).expect("baseline");
 
     println!(
         "Figure 6: selectivity sweep on {} ({} lines, {} modules)",
@@ -40,29 +40,19 @@ fn main() {
             .with_profile_db(db.clone())
             .with_selectivity(sel);
         let m = measure(&cc, &app, &opts).expect("build");
-        assert_eq!(m.checksum, base.checksum, "selectivity must not change code");
-        let loc_pct = 100.0 * m.output.report.cmo_loc as f64
-            / m.output.report.total_loc.max(1) as f64;
+        assert_eq!(
+            m.checksum, base.checksum,
+            "selectivity must not change code"
+        );
+        let loc_pct = 100.0 * m.report.cmo_loc as f64 / m.report.total_loc.max(1) as f64;
         let speedup = base.cycles as f64 / m.cycles as f64;
         println!(
             "{:>5.0} {:>9} {:>7.1}% {:>10.1} {:>12} {:>12} {:>9.3}",
-            sel,
-            m.output.report.cmo_loc,
-            loc_pct,
-            m.compile_ms,
-            m.output.report.compile_work,
-            m.cycles,
-            speedup,
+            sel, m.report.cmo_loc, loc_pct, m.compile_ms, m.report.compile_work, m.cycles, speedup,
         );
         rows.push(format!(
             "{},{},{:.2},{:.2},{},{},{:.4}",
-            sel,
-            m.output.report.cmo_loc,
-            loc_pct,
-            m.compile_ms,
-            m.output.report.compile_work,
-            m.cycles,
-            speedup
+            sel, m.report.cmo_loc, loc_pct, m.compile_ms, m.report.compile_work, m.cycles, speedup
         ));
     }
     write_csv(

@@ -22,12 +22,7 @@ fn main() {
     let budget = 500 << 10;
 
     let eras: [(&str, &str, f64, NaimConfig); 3] = [
-        (
-            "HP-UX 9.0",
-            "all expanded",
-            1700.0,
-            NaimConfig::disabled(),
-        ),
+        ("HP-UX 9.0", "all expanded", 1700.0, NaimConfig::disabled()),
         (
             "HP-UX 10.01",
             "IR compaction",
@@ -57,7 +52,7 @@ fn main() {
             .with_selectivity(100.0)
             .with_naim(naim);
         let m = measure(&cc, &app, &opts).expect("build");
-        let peak = m.output.report.peak_memory.peak_total;
+        let peak = m.report.peak_bytes();
         let per_line = peak as f64 / app.total_lines as f64;
         let paper_str = if paper.is_nan() {
             "sub-linear".to_owned()
@@ -68,7 +63,9 @@ fn main() {
             "{:<12} {:<14} {:>12} {:>11.1} {:>14}",
             era, technique, peak, per_line, paper_str
         );
-        rows.push(format!("{era},{technique},{peak},{per_line:.2},{paper_str}"));
+        rows.push(format!(
+            "{era},{technique},{peak},{per_line:.2},{paper_str}"
+        ));
     }
     write_csv(
         "table_bytes_per_line.csv",

@@ -9,7 +9,7 @@
 //! factors, crossovers — are the reproduction target. See
 //! EXPERIMENTS.md for the paper-vs-measured record.
 
-use cmo::{BuildError, BuildOptions, BuildOutput, Compiler, OptLevel, ProfileDb};
+use cmo::{BuildError, BuildOptions, BuildOutput, CompileReport, Compiler, OptLevel, ProfileDb};
 use cmo_synth::SynthApp;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -20,6 +20,9 @@ use std::time::Instant;
 pub struct Measured {
     /// The build (image + report).
     pub output: BuildOutput,
+    /// The unified `cmo.report.v1` view of the build — the single
+    /// stats surface every figure binary reads.
+    pub report: CompileReport,
     /// Simulated run cycles on the reference input.
     pub cycles: u64,
     /// Output checksum (for cross-configuration equality checks).
@@ -67,8 +70,10 @@ pub fn measure(
     let output = cc.build(options)?;
     let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
     let r = output.run(&app.ref_input)?;
+    let report = output.compile_report();
     Ok(Measured {
         output,
+        report,
         cycles: r.cycles,
         checksum: r.checksum,
         compile_ms,

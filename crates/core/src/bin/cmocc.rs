@@ -15,13 +15,15 @@
 //!                      the profile database to <f>
 //!   --emit-asm         print a disassembly of the linked image
 //!   --report           print the build report
+//!   --report-json <f>  write the unified cmo.report.v1 JSON report
+//!   --trace <f>        write the cmo.trace.v1 event trace (JSONL)
 //! ```
 //!
 //! Sources compile to IL objects; objects feed the optimizing link.
 //! Mixing `.mlc` and pre-compiled `.cmo` files on one command line is
 //! the `make` flow of §6.1.
 
-use cmo::{build_objects, BuildError, BuildOptions, NaimConfig, OptLevel, ProfileDb};
+use cmo::{build_objects, BuildError, BuildOptions, NaimConfig, OptLevel, ProfileDb, Telemetry};
 use cmo_ir::IlObject;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -38,11 +40,14 @@ struct Cli {
     profile_out: Option<PathBuf>,
     emit_asm: bool,
     report: bool,
+    report_json: Option<PathBuf>,
+    trace: Option<PathBuf>,
 }
 
 fn usage() -> String {
     "usage: cmocc [-c] [+O1|+O2|+O4] [+P <db>] [+I] [--sel <pct>] [--budget <MiB>] \
-     [--run <v1,v2,..>] [--profile-out <f>] [--emit-asm] [--report] <files...>"
+     [--run <v1,v2,..>] [--profile-out <f>] [--emit-asm] [--report] \
+     [--report-json <f>] [--trace <f>] <files...>"
         .to_owned()
 }
 
@@ -59,6 +64,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         profile_out: None,
         emit_asm: false,
         report: false,
+        report_json: None,
+        trace: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -103,6 +110,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--profile-out" => cli.profile_out = Some(PathBuf::from(next("a path")?)),
             "--emit-asm" => cli.emit_asm = true,
             "--report" => cli.report = true,
+            "--report-json" => cli.report_json = Some(PathBuf::from(next("a path")?)),
+            "--trace" => cli.trace = Some(PathBuf::from(next("a path")?)),
             "-h" | "--help" => return Err(usage()),
             other if other.starts_with('-') || other.starts_with('+') => {
                 return Err(format!("unknown option `{other}`\n{}", usage()));
@@ -128,13 +137,16 @@ fn load_objects(cli: &Cli) -> Result<Vec<IlObject>, String> {
             std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         if IlObject::is_il_object(&bytes) {
             objects.push(
-                IlObject::from_bytes(&bytes)
-                    .map_err(|e| format!("{}: {e}", path.display()))?,
+                IlObject::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))?,
             );
             continue;
         }
-        let source = String::from_utf8(bytes)
-            .map_err(|_| format!("{} is neither an IL object nor UTF-8 source", path.display()))?;
+        let source = String::from_utf8(bytes).map_err(|_| {
+            format!(
+                "{} is neither an IL object nor UTF-8 source",
+                path.display()
+            )
+        })?;
         let obj = cmo::compile_module(&module_name(path), &source)
             .map_err(|e| format!("{}:{e}", path.display()))?;
         if cli.compile_only {
@@ -149,11 +161,20 @@ fn load_objects(cli: &Cli) -> Result<Vec<IlObject>, String> {
 }
 
 fn run_cli(cli: &Cli) -> Result<(), String> {
-    let objects = load_objects(cli)?;
+    let tel = if cli.report_json.is_some() || cli.trace.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let objects = {
+        let _parse = tel.phase("parse");
+        load_objects(cli)?
+    };
     if cli.compile_only {
         return Ok(());
     }
     let mut options = BuildOptions::new(cli.level);
+    options.telemetry = tel.clone();
     options.instrument = cli.instrument;
     if let Some(path) = &cli.profile {
         let bytes =
@@ -170,9 +191,9 @@ fn run_cli(cli: &Cli) -> Result<(), String> {
     }
 
     let out = build_objects(objects, &options).map_err(|e| match e {
-        BuildError::Naim(inner) => format!(
-            "optimizer out of memory: {inner}\n(hint: raise --budget or lower --sel, §5)"
-        ),
+        BuildError::Naim(inner) => {
+            format!("optimizer out of memory: {inner}\n(hint: raise --budget or lower --sel, §5)")
+        }
         other => other.to_string(),
     })?;
     println!(
@@ -183,11 +204,11 @@ fn run_cli(cli: &Cli) -> Result<(), String> {
     if cli.report {
         let r = &out.report;
         println!("report:");
-        println!("  modules: {}/{} compiled with CMO", r.cmo_modules, r.total_modules);
         println!(
-            "  source lines: {}/{} under CMO",
-            r.cmo_loc, r.total_loc
+            "  modules: {}/{} compiled with CMO",
+            r.cmo_modules, r.total_modules
         );
+        println!("  source lines: {}/{} under CMO", r.cmo_loc, r.total_loc);
         println!(
             "  HLO: {} inlines, {} clones, {} globals folded, {} dead stores, {} dead routines",
             r.hlo.inlines,
@@ -201,6 +222,25 @@ fn run_cli(cli: &Cli) -> Result<(), String> {
             r.peak_memory.peak_total, r.loader.compactions, r.loader.offload_writes
         );
         println!("  compile work: {} units", r.compile_work);
+        for phase in &r.phases {
+            println!(
+                "  phase {:indent$}{}: {} work units",
+                "",
+                phase.name,
+                phase.work(),
+                indent = 2 * phase.depth as usize
+            );
+        }
+    }
+    if let Some(path) = &cli.report_json {
+        std::fs::write(path, out.compile_report().to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote report to {}", path.display());
+    }
+    if let Some(path) = &cli.trace {
+        std::fs::write(path, tel.render_trace())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote trace to {}", path.display());
     }
     if cli.emit_asm {
         print!("{}", cmo_vm::disassemble(&out.image));

@@ -2,13 +2,18 @@
 //! pipeline.
 
 use cmo_frontend::FrontendError;
-use cmo_hlo::{fold_globals, inline_pass, CallGraph, GlobalFacts, HloSession, HloStats, InlineOptions};
+use cmo_hlo::{
+    fold_globals, inline_pass, CallGraph, GlobalFacts, HloSession, HloStats, InlineOptions,
+};
 use cmo_ir::{link_objects, IlObject, LinkError, Program, RoutineBody, RoutineId};
 use cmo_link::{assemble, CallArc, LinkOptions};
-use cmo_llo::{lower_routine, shape_of, GlobalLayout, LloOptions, LoweredRoutine, OptEffort, OptEffortOpt};
+use cmo_llo::{
+    lower_routine, shape_of, GlobalLayout, LloOptions, LoweredRoutine, OptEffort, OptEffortOpt,
+};
 use cmo_naim::{LoaderStats, MemorySnapshot, NaimConfig, NaimError};
 use cmo_profile::{Freshness, ProfileDb};
-use cmo_select::{coarse_select, layered_levels, OptLayer};
+use cmo_select::{coarse_select_traced, layered_levels, OptLayer};
+use cmo_telemetry::{PhaseRecord, Telemetry, TraceEvent};
 use cmo_vm::{profile_from_run, run, ExecResult, MachineImage, RunConfig};
 use std::collections::BTreeSet;
 use std::error::Error;
@@ -111,6 +116,11 @@ pub struct BuildOptions {
     /// Enable the §8 multi-layered strategy: cold routines drop to
     /// `+O1` treatment.
     pub layered: bool,
+    /// Telemetry sink threaded through the whole pipeline (loader,
+    /// HLO, selection, final link). Disabled (no-op) by default;
+    /// enable it to collect phase timers and trace events for the
+    /// `--report-json` / `--trace` outputs.
+    pub telemetry: Telemetry,
 }
 
 impl BuildOptions {
@@ -126,6 +136,7 @@ impl BuildOptions {
             naim: NaimConfig::default(),
             inline: InlineOptions::default(),
             layered: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -172,6 +183,13 @@ impl BuildOptions {
         self.inline = inline;
         self
     }
+
+    /// Attaches a telemetry sink.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
 }
 
 /// What the build did, for diagnostics and the paper's experiments.
@@ -199,6 +217,9 @@ pub struct BuildReport {
     pub compile_work: u64,
     /// Final image size in instructions.
     pub image_instrs: usize,
+    /// Hierarchical phase timers recorded by the build's telemetry
+    /// sink. Empty when telemetry was disabled.
+    pub phases: Vec<PhaseRecord>,
 }
 
 /// A finished build: the executable image plus its report.
@@ -234,6 +255,14 @@ impl BuildOutput {
         }
         let result = self.run(input)?;
         Ok(profile_from_run(&self.image, &result.probe_counts))
+    }
+
+    /// The unified, versioned view of this build's statistics — the
+    /// surface benches and external tooling should consume instead of
+    /// the per-crate stats structs.
+    #[must_use]
+    pub fn compile_report(&self) -> crate::CompileReport {
+        crate::CompileReport::from_build(&self.report)
     }
 }
 
@@ -313,8 +342,7 @@ fn arcs_from(
         for block in &body.blocks {
             for instr in &block.instrs {
                 if let cmo_ir::Instr::Call { callee, site, .. } = instr {
-                    *agg.entry((caller, callee.id())).or_insert(0) +=
-                        site_count(caller, site.0);
+                    *agg.entry((caller, callee.id())).or_insert(0) += site_count(caller, site.0);
                 }
             }
         }
@@ -340,7 +368,11 @@ pub fn build_objects(
     objects: Vec<IlObject>,
     options: &BuildOptions,
 ) -> Result<BuildOutput, BuildError> {
-    let unit = link_objects(objects)?;
+    let tel = options.telemetry.clone();
+    let unit = {
+        let _p = tel.phase("link");
+        link_objects(objects)?
+    };
     if unit.program.main_routine().is_none() {
         return Err(BuildError::NoMain);
     }
@@ -352,121 +384,158 @@ pub fn build_objects(
     let db = options.profile.as_ref().filter(|_| options.pbo);
 
     // === The HLO stage (+O4 only). ===
-    let (program, bodies, symtabs, maintained_counts, dead, o4_arcs) = if options.level
-        == OptLevel::O4
-    {
-        // Coarse-grained selectivity (§5): pick CMO modules by ranked
-        // call sites. Without PBO or a percentage, everything is CMO.
-        let plan = match (db, options.selectivity) {
-            (Some(db), Some(pct)) => {
-                Some(coarse_select(&unit.program, &unit.bodies, db, pct))
-            }
-            _ => None,
-        };
-        let (targets, cmo_modules, cmo_loc): (Option<BTreeSet<RoutineId>>, usize, u64) =
-            match &plan {
-                Some(plan) => {
-                    let loc = plan
-                        .cmo_modules
-                        .iter()
-                        .map(|&m| u64::from(unit.program.module(m).source_lines))
-                        .sum();
-                    (
-                        Some(plan.hot_routines.iter().copied().collect()),
-                        plan.cmo_modules.len(),
-                        loc,
-                    )
+    let (program, bodies, symtabs, maintained_counts, dead, o4_arcs) =
+        if options.level == OptLevel::O4 {
+            let _hlo_phase = tel.phase("hlo");
+            // Coarse-grained selectivity (§5): pick CMO modules by ranked
+            // call sites. Without PBO or a percentage, everything is CMO.
+            let plan = match (db, options.selectivity) {
+                (Some(db), Some(pct)) => {
+                    let _p = tel.phase("select");
+                    Some(coarse_select_traced(
+                        &unit.program,
+                        &unit.bodies,
+                        db,
+                        pct,
+                        &tel,
+                    ))
                 }
-                None => (None, unit.program.modules().len(), report.total_loc),
+                _ => None,
             };
-        report.cmo_modules = cmo_modules;
-        report.cmo_loc = cmo_loc;
+            let (targets, cmo_modules, cmo_loc): (Option<BTreeSet<RoutineId>>, usize, u64) =
+                match &plan {
+                    Some(plan) => {
+                        let loc = plan
+                            .cmo_modules
+                            .iter()
+                            .map(|&m| u64::from(unit.program.module(m).source_lines))
+                            .sum();
+                        (
+                            Some(plan.hot_routines.iter().copied().collect()),
+                            plan.cmo_modules.len(),
+                            loc,
+                        )
+                    }
+                    None => (None, unit.program.modules().len(), report.total_loc),
+                };
+            report.cmo_modules = cmo_modules;
+            report.cmo_loc = cmo_loc;
 
-        let mut session = HloSession::new(unit, options.naim.clone(), db)?;
-        // Read-in pass: whole-program facts need every routine (§5).
-        let facts = GlobalFacts::build(&mut session)?;
-        let fold_targets: Vec<RoutineId> = match &targets {
-            Some(t) => t.iter().copied().collect(),
-            None => (0..session.n_routines()).map(RoutineId::from_index).collect(),
-        };
-        fold_globals(&mut session, &facts, &fold_targets)?;
-        session.unload_all()?;
-
-        // Inlining. Without PBO the heuristics "drive the compiler to
-        // thoroughly optimize all routines" (§5): every callee up to
-        // the hot threshold becomes inlinable everywhere.
-        let mut inline_opts = options.inline.clone();
-        inline_opts.targets = targets;
-        if db.is_none() {
-            // "Our heuristics drive the compiler to thoroughly
-            // optimize all routines" (§5): without profiles, medium
-            // callees become inlinable everywhere, at real cost in
-            // code growth, time, and memory.
-            inline_opts.small_callee_il = inline_opts.small_callee_il.max(80);
-        }
-        let inline_stats = inline_pass(&mut session, &inline_opts)?;
-        report.compile_work += inline_stats.inlines * 200 + inline_stats.considered;
-
-        // Cloning: specialize hot constant-argument callees too big to
-        // inline (§3). Profiles justify the code growth.
-        if db.is_some() {
-            let clone_opts = cmo_hlo::CloneOptions {
-                min_callee_il: inline_opts.hot_callee_il,
-                targets: inline_opts.targets.clone(),
-                ..cmo_hlo::CloneOptions::default()
+            let mut session = {
+                let _p = tel.phase("read_in");
+                HloSession::new_with_telemetry(unit, options.naim.clone(), db, tel.clone())?
             };
-            let clone_stats = cmo_hlo::clone_pass(&mut session, &clone_opts)?;
-            report.compile_work += clone_stats.clones * 150;
-        }
-
-        // Post-inline call graph: dead-routine detection and cluster
-        // arcs. The graph's edge counts are the *maintained* site
-        // counts (scaled through inlining), not the raw database —
-        // inlining created fresh sites the database has never seen.
-        let graph = CallGraph::build(&mut session)?;
-        let main = session.program.main_routine().expect("checked above");
-        let reach = graph.reachable_from(main);
-        let dead: Vec<RoutineId> = (0..session.n_routines())
-            .map(RoutineId::from_index)
-            .filter(|r| !reach[r.index()])
-            .collect();
-        session.record_dead_routines(dead.len() as u64);
-        let maintained_arcs: Option<Vec<CallArc>> = options.pbo.then(|| {
-            use std::collections::BTreeMap;
-            let mut agg: BTreeMap<(RoutineId, RoutineId), u64> = BTreeMap::new();
-            for e in &graph.edges {
-                *agg.entry((e.caller, e.callee)).or_insert(0) += e.count;
+            {
+                let _p = tel.phase("ipa");
+                // Read-in pass: whole-program facts need every routine (§5).
+                let facts = GlobalFacts::build(&mut session)?;
+                let fold_targets: Vec<RoutineId> = match &targets {
+                    Some(t) => t.iter().copied().collect(),
+                    None => (0..session.n_routines())
+                        .map(RoutineId::from_index)
+                        .collect(),
+                };
+                fold_globals(&mut session, &facts, &fold_targets)?;
+                session.unload_all()?;
             }
-            agg.into_iter()
-                .map(|((caller, callee), weight)| CallArc {
-                    caller,
-                    callee,
-                    weight,
-                })
-                .collect()
-        });
-        session.unload_all()?;
 
-        report.hlo = session.stats();
-        report.loader = session.loader_stats();
-        report.peak_memory = session.memory();
-        report.compile_work += session.loader_stats().work_units;
-        let (program, bodies, symtabs, counts) = session.into_parts()?;
-        (program, bodies, symtabs, counts, dead, maintained_arcs)
-    } else {
-        report.cmo_modules = 0;
-        report.cmo_loc = 0;
-        let n = unit.bodies.len();
-        let counts = vec![None; n];
-        (
-            unit.program,
-            unit.bodies,
-            unit.symtabs,
-            counts,
-            Vec::new(),
-            None,
-        )
-    };
+            // Inlining. Without PBO the heuristics "drive the compiler to
+            // thoroughly optimize all routines" (§5): every callee up to
+            // the hot threshold becomes inlinable everywhere.
+            let mut inline_opts = options.inline.clone();
+            inline_opts.targets = targets;
+            if db.is_none() {
+                // "Our heuristics drive the compiler to thoroughly
+                // optimize all routines" (§5): without profiles, medium
+                // callees become inlinable everywhere, at real cost in
+                // code growth, time, and memory.
+                inline_opts.small_callee_il = inline_opts.small_callee_il.max(80);
+            }
+            let inline_work = {
+                let _p = tel.phase("inline");
+                let inline_stats = inline_pass(&mut session, &inline_opts)?;
+                let work = inline_stats.inlines * 200 + inline_stats.considered;
+                tel.work(work);
+                work
+            };
+            report.compile_work += inline_work;
+
+            // Cloning: specialize hot constant-argument callees too big to
+            // inline (§3). Profiles justify the code growth.
+            if db.is_some() {
+                let _p = tel.phase("clone");
+                let clone_opts = cmo_hlo::CloneOptions {
+                    min_callee_il: inline_opts.hot_callee_il,
+                    targets: inline_opts.targets.clone(),
+                    ..cmo_hlo::CloneOptions::default()
+                };
+                let clone_stats = cmo_hlo::clone_pass(&mut session, &clone_opts)?;
+                let work = clone_stats.clones * 150;
+                tel.work(work);
+                report.compile_work += work;
+            }
+
+            // Post-inline call graph: dead-routine detection and cluster
+            // arcs. The graph's edge counts are the *maintained* site
+            // counts (scaled through inlining), not the raw database —
+            // inlining created fresh sites the database has never seen.
+            let _cg_phase = tel.phase("callgraph");
+            let graph = CallGraph::build(&mut session)?;
+            let main = session.program.main_routine().expect("checked above");
+            let reach = graph.reachable_from(main);
+            let dead: Vec<RoutineId> = (0..session.n_routines())
+                .map(RoutineId::from_index)
+                .filter(|r| !reach[r.index()])
+                .collect();
+            session.record_dead_routines(dead.len() as u64);
+            if tel.is_enabled() {
+                for &r in &dead {
+                    let program = &session.program;
+                    tel.emit(TraceEvent::DeadRoutine {
+                        routine: program.name(program.routine(r).name).to_owned(),
+                    });
+                }
+            }
+            let maintained_arcs: Option<Vec<CallArc>> = options.pbo.then(|| {
+                use std::collections::BTreeMap;
+                let mut agg: BTreeMap<(RoutineId, RoutineId), u64> = BTreeMap::new();
+                for e in &graph.edges {
+                    *agg.entry((e.caller, e.callee)).or_insert(0) += e.count;
+                }
+                agg.into_iter()
+                    .map(|((caller, callee), weight)| CallArc {
+                        caller,
+                        callee,
+                        weight,
+                    })
+                    .collect()
+            });
+            session.unload_all()?;
+            drop(_cg_phase);
+
+            report.hlo = session.stats();
+            report.loader = session.loader_stats();
+            report.peak_memory = session.memory();
+            report.compile_work += session.loader_stats().work_units;
+            let (program, bodies, symtabs, counts) = {
+                let _p = tel.phase("write_out");
+                session.into_parts()?
+            };
+            (program, bodies, symtabs, counts, dead, maintained_arcs)
+        } else {
+            report.cmo_modules = 0;
+            report.cmo_loc = 0;
+            let n = unit.bodies.len();
+            let counts = vec![None; n];
+            (
+                unit.program,
+                unit.bodies,
+                unit.symtabs,
+                counts,
+                Vec::new(),
+                None,
+            )
+        };
 
     // === LLO + instrumentation. ===
     let layout = GlobalLayout::new(&program);
@@ -480,6 +549,7 @@ pub fn build_objects(
         None
     };
     let dead_set: BTreeSet<usize> = dead.iter().map(|r| r.index()).collect();
+    let llo_phase = tel.phase("llo");
     let mut lowered: Vec<LoweredRoutine> = Vec::with_capacity(bodies.len());
     for (i, body) in bodies.iter().enumerate() {
         let rid = RoutineId::from_index(i);
@@ -516,10 +586,12 @@ pub fn build_objects(
         };
         let lr = lower_routine(rid, body, &program, &layout, &llo_opts);
         report.llo_peak_bytes = report.llo_peak_bytes.max(lr.llo_work_bytes);
-        report.compile_work +=
-            u64::from(lr.il_after_opt) * 3 + (lr.llo_work_bytes as u64) / 256;
+        let work = u64::from(lr.il_after_opt) * 3 + (lr.llo_work_bytes as u64) / 256;
+        tel.work(work);
+        report.compile_work += work;
         lowered.push(lr);
     }
+    drop(llo_phase);
 
     // === Final link: clustering + image assembly. ===
     let arcs = match o4_arcs {
@@ -532,14 +604,22 @@ pub fn build_objects(
         }),
         None => None,
     };
-    let image = assemble(
-        &program,
-        lowered,
-        &symtabs,
-        &layout,
-        &LinkOptions { arcs, dead },
-    );
+    let image = {
+        let _p = tel.phase("link_image");
+        assemble(
+            &program,
+            lowered,
+            &symtabs,
+            &layout,
+            &LinkOptions {
+                arcs,
+                dead,
+                telemetry: tel.clone(),
+            },
+        )
+    };
     report.image_instrs = image.code_size();
+    report.phases = tel.phases();
     Ok(BuildOutput { image, report })
 }
 
@@ -590,7 +670,12 @@ mod tests {
         assert_eq!(r1.checksum, r2.checksum);
         assert_eq!(r2.checksum, r4.checksum);
         assert!(r2.cycles <= r1.cycles);
-        assert!(r4.cycles < r2.cycles, "CMO must beat O2: {} vs {}", r4.cycles, r2.cycles);
+        assert!(
+            r4.cycles < r2.cycles,
+            "CMO must beat O2: {} vs {}",
+            r4.cycles,
+            r2.cycles
+        );
     }
 
     #[test]
@@ -673,9 +758,7 @@ mod tests {
     fn hard_memory_limit_fails_unselective_cmo() {
         let cc = two_module_compiler();
         let tiny = NaimConfig::disabled().hard_limit(2_000);
-        let result = cc.build(
-            &BuildOptions::new(OptLevel::O4).with_naim(tiny),
-        );
+        let result = cc.build(&BuildOptions::new(OptLevel::O4).with_naim(tiny));
         assert!(matches!(result, Err(BuildError::Naim(_))));
     }
 }

@@ -25,10 +25,7 @@ pub struct IsolationReport {
 /// monotone in the sense the paper relies on (once the faulty
 /// operation is included, the program stays broken). The return value
 /// names the first operation count at which the program breaks.
-pub fn isolate_faulty_op(
-    max_ops: u64,
-    mut is_good: impl FnMut(u64) -> bool,
-) -> IsolationReport {
+pub fn isolate_faulty_op(max_ops: u64, mut is_good: impl FnMut(u64) -> bool) -> IsolationReport {
     let mut builds = 0u64;
     let mut check = |limit: u64, builds: &mut u64| {
         *builds += 1;

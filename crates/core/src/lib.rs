@@ -52,12 +52,14 @@
 mod driver;
 mod isolate;
 mod project;
+mod report;
 
 pub use driver::{
     build_objects, BuildError, BuildOptions, BuildOutput, BuildReport, Compiler, OptLevel,
 };
 pub use isolate::{isolate_faulty_op, IsolationReport};
 pub use project::Project;
+pub use report::CompileReport;
 
 // Re-export the pieces a downstream user composes with.
 pub use cmo_frontend::compile_module;
@@ -65,4 +67,5 @@ pub use cmo_hlo::InlineOptions;
 pub use cmo_ir::IlObject;
 pub use cmo_naim::{NaimConfig, NaimLevel, Thresholds};
 pub use cmo_profile::ProfileDb;
+pub use cmo_telemetry::{PhaseRecord, Telemetry, TraceEvent};
 pub use cmo_vm::{ExecResult, RunConfig};

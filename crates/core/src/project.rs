@@ -115,15 +115,20 @@ mod tests {
     #[test]
     fn unchanged_sources_do_not_recompile() {
         let mut p = Project::new();
-        assert!(p.update_source("a", "fn main() -> int { return 1; }").unwrap());
-        assert!(!p.update_source("a", "fn main() -> int { return 1; }").unwrap());
+        assert!(p
+            .update_source("a", "fn main() -> int { return 1; }")
+            .unwrap());
+        assert!(!p
+            .update_source("a", "fn main() -> int { return 1; }")
+            .unwrap());
         assert_eq!(p.recompiles(), 1);
     }
 
     #[test]
     fn editing_one_module_recompiles_only_it() {
         let mut p = Project::new();
-        p.update_source("util", "fn f() -> int { return 10; }").unwrap();
+        p.update_source("util", "fn f() -> int { return 10; }")
+            .unwrap();
         p.update_source(
             "app",
             "extern fn f() -> int;\nfn main() -> int { return f(); }",
@@ -134,7 +139,8 @@ mod tests {
         assert_eq!(out1.run(&[]).unwrap().returned, 10);
 
         // Edit util only.
-        p.update_source("util", "fn f() -> int { return 20; }").unwrap();
+        p.update_source("util", "fn f() -> int { return 20; }")
+            .unwrap();
         assert_eq!(p.recompiles(), 3, "app was not recompiled");
         let out2 = p.build(&BuildOptions::o2()).unwrap();
         assert_eq!(out2.run(&[]).unwrap().returned, 20);
@@ -143,7 +149,8 @@ mod tests {
     #[test]
     fn objects_survive_the_byte_format() {
         let mut p = Project::new();
-        p.update_source("m", "fn main() -> int { return 5; }").unwrap();
+        p.update_source("m", "fn main() -> int { return 5; }")
+            .unwrap();
         let objs = p.objects();
         assert_eq!(objs.len(), 1);
         assert_eq!(objs[0].module_name, "m");
@@ -152,7 +159,8 @@ mod tests {
     #[test]
     fn frontend_errors_do_not_poison_the_cache() {
         let mut p = Project::new();
-        p.update_source("m", "fn main() -> int { return 5; }").unwrap();
+        p.update_source("m", "fn main() -> int { return 5; }")
+            .unwrap();
         assert!(p.update_source("m", "fn main( -> int {").is_err());
         // The old object is still usable.
         let out = p.build(&BuildOptions::o2()).unwrap();

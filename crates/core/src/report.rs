@@ -1,0 +1,257 @@
+//! The unified compile report: one versioned, deterministic JSON
+//! document aggregating every subsystem's counters.
+//!
+//! Before this module existed, each figure bench reached into a
+//! different per-crate stats struct ([`LoaderStats`] for Figure 5,
+//! [`MemorySnapshot`] for Figure 4, driver fields for Figure 6). A
+//! [`CompileReport`] collects them all behind one schema
+//! (`cmo.report.v1`) so external tooling — and the in-repo benches —
+//! consume a single stable surface. See `METRICS.md` at the repository
+//! root for the field-by-field documentation.
+//!
+//! The JSON is hand-rolled (no serde) and contains only integers,
+//! strings, and the work-unit clock — never wall time — so two
+//! identical compilations serialize byte-identically.
+
+use crate::driver::BuildReport;
+use cmo_hlo::HloStats;
+use cmo_naim::{LoaderStats, MemClass, MemorySnapshot};
+use cmo_telemetry::json::JsonWriter;
+use cmo_telemetry::{PhaseRecord, REPORT_SCHEMA};
+
+/// Aggregated, versioned view of one compilation, serializable to the
+/// `cmo.report.v1` JSON schema via [`CompileReport::to_json`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompileReport {
+    /// Modules selected for CMO.
+    pub cmo_modules: usize,
+    /// Total modules in the program.
+    pub total_modules: usize,
+    /// Source lines inside CMO modules (Figure 6 x-axis).
+    pub cmo_loc: u64,
+    /// Total source lines.
+    pub total_loc: u64,
+    /// HLO transformation counters.
+    pub hlo: HloStats,
+    /// NAIM loader activity counters.
+    pub loader: LoaderStats,
+    /// Optimizer memory snapshot (Figures 4/5).
+    pub memory: MemorySnapshot,
+    /// Largest per-routine LLO working set in bytes.
+    pub llo_peak_bytes: usize,
+    /// Total simulated compile effort in work units (Figure 6 y-axis).
+    pub compile_work: u64,
+    /// Final image size in machine instructions.
+    pub image_instrs: usize,
+    /// Hierarchical phase timers on the work-unit clock.
+    pub phases: Vec<PhaseRecord>,
+}
+
+/// JSON field name for a memory class, in [`MemClass::ALL`] order.
+fn mem_class_name(class: MemClass) -> &'static str {
+    match class {
+        MemClass::Global => "global",
+        MemClass::TransitoryExpanded => "transitory_expanded",
+        MemClass::TransitoryCompact => "transitory_compact",
+        MemClass::Derived => "derived",
+    }
+}
+
+impl CompileReport {
+    /// The schema identifier written into every report
+    /// (re-exported from `cmo-telemetry` for discoverability).
+    pub const SCHEMA: &'static str = REPORT_SCHEMA;
+
+    /// Builds the unified report from a driver [`BuildReport`].
+    #[must_use]
+    pub fn from_build(report: &BuildReport) -> Self {
+        CompileReport {
+            cmo_modules: report.cmo_modules,
+            total_modules: report.total_modules,
+            cmo_loc: report.cmo_loc,
+            total_loc: report.total_loc,
+            hlo: report.hlo,
+            loader: report.loader,
+            memory: report.peak_memory,
+            llo_peak_bytes: report.llo_peak_bytes,
+            compile_work: report.compile_work,
+            image_instrs: report.image_instrs,
+            phases: report.phases.clone(),
+        }
+    }
+
+    /// Peak optimizer (HLO-stage) heap in bytes — the Figure 4/5
+    /// memory axis.
+    #[must_use]
+    pub fn peak_bytes(&self) -> usize {
+        self.memory.peak_total
+    }
+
+    /// Peak over the whole compilation: the larger of the optimizer
+    /// heap and the biggest per-routine LLO working set.
+    #[must_use]
+    pub fn overall_peak_bytes(&self) -> usize {
+        self.memory.peak_total.max(self.llo_peak_bytes)
+    }
+
+    /// Serializes to the versioned `cmo.report.v1` JSON document.
+    ///
+    /// Field order is fixed, all numbers are integers, and no wall
+    /// time is included, so the output is byte-identical across runs
+    /// of the same compilation. Every field is documented in
+    /// `METRICS.md`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj(None);
+        w.field_str("schema", Self::SCHEMA);
+
+        w.begin_obj(Some("selection"));
+        w.field_usize("cmo_modules", self.cmo_modules);
+        w.field_usize("total_modules", self.total_modules);
+        w.field_u64("cmo_loc", self.cmo_loc);
+        w.field_u64("total_loc", self.total_loc);
+        w.end_obj();
+
+        w.begin_obj(Some("hlo"));
+        w.field_u64("inlines", self.hlo.inlines);
+        w.field_u64("sites_considered", self.hlo.sites_considered);
+        w.field_u64("globals_folded", self.hlo.globals_folded);
+        w.field_u64("dead_stores_removed", self.hlo.dead_stores_removed);
+        w.field_u64("dead_routines", self.hlo.dead_routines);
+        w.field_u64("clones", self.hlo.clones);
+        w.end_obj();
+
+        w.begin_obj(Some("loader"));
+        w.field_u64("pools", self.loader.pools);
+        w.field_u64("hits", self.loader.hits);
+        w.field_u64("cache_rescues", self.loader.cache_rescues);
+        w.field_u64("uncompactions", self.loader.uncompactions);
+        w.field_u64("compactions", self.loader.compactions);
+        w.field_u64("offload_writes", self.loader.offload_writes);
+        w.field_u64("offload_reads", self.loader.offload_reads);
+        w.field_u64("bytes_swizzled", self.loader.bytes_swizzled);
+        w.field_u64("bytes_offloaded", self.loader.bytes_offloaded);
+        w.field_u64("work_units", self.loader.work_units);
+        w.end_obj();
+
+        w.begin_obj(Some("memory"));
+        w.begin_obj(Some("current"));
+        for class in MemClass::ALL {
+            w.field_usize(mem_class_name(class), self.memory.class(class));
+        }
+        w.end_obj();
+        w.begin_obj(Some("peak"));
+        for class in MemClass::ALL {
+            w.field_usize(mem_class_name(class), self.memory.peak_class(class));
+        }
+        w.end_obj();
+        w.field_usize("peak_total", self.memory.peak_total);
+        w.end_obj();
+
+        w.begin_obj(Some("llo"));
+        w.field_usize("peak_bytes", self.llo_peak_bytes);
+        w.end_obj();
+
+        w.begin_obj(Some("image"));
+        w.field_usize("instrs", self.image_instrs);
+        w.end_obj();
+
+        w.begin_obj(Some("work"));
+        w.field_u64("compile_work", self.compile_work);
+        w.end_obj();
+
+        w.begin_arr(Some("phases"));
+        for phase in &self.phases {
+            w.begin_obj(None);
+            w.field_str("name", &phase.name);
+            w.field_u64("depth", u64::from(phase.depth));
+            w.field_u64("start_work", phase.start_work);
+            w.field_u64("end_work", phase.end_work);
+            w.end_obj();
+        }
+        w.end_arr();
+
+        w.end_obj();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CompileReport {
+        CompileReport {
+            cmo_modules: 2,
+            total_modules: 3,
+            cmo_loc: 40,
+            total_loc: 60,
+            hlo: HloStats {
+                inlines: 5,
+                sites_considered: 9,
+                ..HloStats::default()
+            },
+            loader: LoaderStats {
+                pools: 6,
+                compactions: 4,
+                work_units: 1234,
+                ..LoaderStats::default()
+            },
+            llo_peak_bytes: 2048,
+            compile_work: 9999,
+            image_instrs: 321,
+            phases: vec![PhaseRecord {
+                name: "hlo.inline".to_owned(),
+                depth: 1,
+                start_work: 10,
+                end_work: 200,
+                wall_nanos: 77,
+            }],
+            ..CompileReport::default()
+        }
+    }
+
+    #[test]
+    fn json_is_versioned_and_deterministic() {
+        let r = sample();
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\n  \"schema\": \"cmo.report.v1\""));
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_has_all_sections_and_no_wall_time() {
+        let text = sample().to_json();
+        for section in [
+            "\"selection\"",
+            "\"hlo\"",
+            "\"loader\"",
+            "\"memory\"",
+            "\"llo\"",
+            "\"image\"",
+            "\"work\"",
+            "\"phases\"",
+        ] {
+            assert!(text.contains(section), "missing {section} in {text}");
+        }
+        assert!(text.contains("\"name\": \"hlo.inline\""));
+        assert!(text.contains("\"work_units\": 1234"));
+        assert!(
+            !text.contains("wall") && !text.contains("nanos"),
+            "wall time must never reach the JSON report"
+        );
+    }
+
+    #[test]
+    fn accessors_unify_peaks() {
+        let mut r = sample();
+        r.memory.peak_total = 1000;
+        assert_eq!(r.peak_bytes(), 1000);
+        assert_eq!(r.overall_peak_bytes(), 2048);
+        r.llo_peak_bytes = 10;
+        assert_eq!(r.overall_peak_bytes(), 1000);
+    }
+}

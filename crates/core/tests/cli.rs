@@ -39,13 +39,12 @@ fn full_workflow_through_the_cli() {
     std::fs::write(&app, APP).unwrap();
 
     // 1. Separate compilation: -c writes .cmo object files.
-    let out = cmocc()
-        .args(["-c"])
-        .arg(&lib)
-        .arg(&app)
-        .output()
-        .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = cmocc().args(["-c"]).arg(&lib).arg(&app).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(dir.join("lib.cmo").exists());
     assert!(dir.join("app.cmo").exists());
 
@@ -59,7 +58,11 @@ fn full_workflow_through_the_cli() {
         .arg(dir.join("app.cmo"))
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(db.exists());
 
     // 3. +O4 +P link with report; run and compare against +O2.
@@ -68,7 +71,11 @@ fn full_workflow_through_the_cli() {
         cmd.args(extra);
         cmd.arg(dir.join("lib.cmo")).arg(dir.join("app.cmo"));
         let out = cmd.output().unwrap();
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         String::from_utf8_lossy(&out.stdout).into_owned()
     };
     let o2 = run(&["+O2", "--run", "500"]);
@@ -132,6 +139,78 @@ fn diagnostics_and_exit_codes() {
 }
 
 #[test]
+fn report_json_and_trace_are_versioned_and_reproducible() {
+    let dir = workdir("telemetry");
+    let lib = dir.join("lib.mlc");
+    let app = dir.join("app.mlc");
+    std::fs::write(&lib, LIB).unwrap();
+    std::fs::write(&app, APP).unwrap();
+
+    // Train a profile so the +O4 +P pipeline (selectivity, hot-site
+    // inlining) actually runs.
+    let db = dir.join("train.db");
+    let out = cmocc()
+        .args(["+I", "--run", "200", "--profile-out"])
+        .arg(&db)
+        .arg(&lib)
+        .arg(&app)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let emit = |tag: &str| -> (String, String) {
+        let report = dir.join(format!("report-{tag}.json"));
+        let trace = dir.join(format!("trace-{tag}.jsonl"));
+        let out = cmocc()
+            .args(["+O4", "+P"])
+            .arg(&db)
+            .args(["--budget", "1", "--report-json"])
+            .arg(&report)
+            .arg("--trace")
+            .arg(&trace)
+            .arg(&lib)
+            .arg(&app)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            std::fs::read_to_string(&report).unwrap(),
+            std::fs::read_to_string(&trace).unwrap(),
+        )
+    };
+    let (report_a, trace_a) = emit("a");
+    let (report_b, trace_b) = emit("b");
+    assert_eq!(
+        report_a, report_b,
+        "report must be byte-identical across runs"
+    );
+    assert_eq!(trace_a, trace_b, "trace must be byte-identical across runs");
+    assert!(
+        report_a.contains("\"schema\": \"cmo.report.v1\""),
+        "{report_a}"
+    );
+    for section in ["\"selection\"", "\"hlo\"", "\"loader\"", "\"phases\""] {
+        assert!(report_a.contains(section), "missing {section}: {report_a}");
+    }
+    assert!(
+        trace_a.starts_with("{\"schema\":\"cmo.trace.v1\"}\n"),
+        "{trace_a}"
+    );
+    // The CLI's extra "parse" phase wraps source loading.
+    assert!(report_a.contains("\"name\": \"parse\""), "{report_a}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn builds_under_memory_pressure() {
     let dir = workdir("pressure");
     let mut src = String::from("fn main() -> int {\n var acc: int = 0;\n");
@@ -141,7 +220,15 @@ fn builds_under_memory_pressure() {
     src.push_str(" return acc; }\n");
     let f = dir.join("big.mlc");
     std::fs::write(&f, src).unwrap();
-    let out = cmocc().args(["+O4", "--budget", "1"]).arg(&f).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = cmocc()
+        .args(["+O4", "--budget", "1"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -159,8 +159,8 @@ impl<'a> Lexer<'a> {
                     self.bump();
                 }
             }
-            let text = std::str::from_utf8(&self.src[start..self.pos])
-                .expect("number bytes are ASCII");
+            let text =
+                std::str::from_utf8(&self.src[start..self.pos]).expect("number bytes are ASCII");
             return if is_float {
                 text.parse::<f64>()
                     .map(|v| Token {

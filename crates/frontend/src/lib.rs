@@ -62,8 +62,7 @@ mod lower;
 mod parser;
 
 pub use ast::{
-    BinExprOp, Expr, ExprKind, Item, Module as AstModule, Param, Stmt, StmtKind, TypeName,
-    UnExprOp,
+    BinExprOp, Expr, ExprKind, Item, Module as AstModule, Param, Stmt, StmtKind, TypeName, UnExprOp,
 };
 pub use lexer::{Lexer, Token, TokenKind};
 pub use lower::lower_module;

@@ -492,14 +492,10 @@ impl FnLowerer<'_, '_> {
                     self.f.ret(Some(v));
                     Ok(())
                 }
-                (None, Some(e)) => Err(FrontendError::new(
-                    e.pos,
-                    "procedure cannot return a value",
-                )),
-                (Some(_), None) => Err(FrontendError::new(
-                    s.pos,
-                    "function must return a value",
-                )),
+                (None, Some(e)) => {
+                    Err(FrontendError::new(e.pos, "procedure cannot return a value"))
+                }
+                (Some(_), None) => Err(FrontendError::new(s.pos, "function must return a value")),
             },
             StmtKind::Output(e) => {
                 let (v, t) = self.lower_expr(e)?;
@@ -529,7 +525,9 @@ impl FnLowerer<'_, '_> {
         } else {
             Err(FrontendError::new(
                 pos,
-                format!("type mismatch: expected {want}, found {got} (use int()/float() to convert)"),
+                format!(
+                    "type mismatch: expected {want}, found {got} (use int()/float() to convert)"
+                ),
             ))
         }
     }
@@ -625,10 +623,9 @@ impl FnLowerer<'_, '_> {
                     (UnExprOp::Neg, Ty::I64) => Ok((self.f.un(UnOp::Neg, v), Ty::I64)),
                     (UnExprOp::Neg, Ty::F64) => Ok((self.f.un(UnOp::FNeg, v), Ty::F64)),
                     (UnExprOp::Not, Ty::I64) => Ok((self.f.un(UnOp::Not, v), Ty::I64)),
-                    (UnExprOp::Not, Ty::F64) => Err(FrontendError::new(
-                        e.pos,
-                        "`!` requires an integer operand",
-                    )),
+                    (UnExprOp::Not, Ty::F64) => {
+                        Err(FrontendError::new(e.pos, "`!` requires an integer operand"))
+                    }
                 }
             }
             ExprKind::Bin(op, l, r) => self.lower_bin(*op, l, r, e.pos),
@@ -801,10 +798,8 @@ mod tests {
 
     #[test]
     fn arity_checked_against_extern() {
-        let e = compile(
-            "extern fn helper(x: int) -> int;\nfn f() -> int { return helper(1, 2); }",
-        )
-        .unwrap_err();
+        let e = compile("extern fn helper(x: int) -> int;\nfn f() -> int { return helper(1, 2); }")
+            .unwrap_err();
         assert!(e.message.contains("takes 1 arguments"));
     }
 

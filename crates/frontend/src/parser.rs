@@ -414,10 +414,7 @@ impl Parser {
         if let TokenKind::Ident(name) = &self.peek().kind {
             if !is_keyword(name) {
                 let name = name.clone();
-                let next = self
-                    .toks
-                    .get(self.pos + 1)
-                    .map(|t| &t.kind);
+                let next = self.toks.get(self.pos + 1).map(|t| &t.kind);
                 if matches!(next, Some(TokenKind::Punct("="))) {
                     self.bump();
                     self.bump();
@@ -672,7 +669,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(m.items.len(), 1);
-        let Item::Function { name, body, lines, .. } = &m.items[0] else {
+        let Item::Function {
+            name, body, lines, ..
+        } = &m.items[0]
+        else {
             panic!("expected function");
         };
         assert_eq!(name, "collatz");
@@ -707,7 +707,13 @@ mod tests {
         )
         .unwrap();
         assert_eq!(m.items.len(), 4);
-        assert!(matches!(m.items[0], Item::Global { internal: false, .. }));
+        assert!(matches!(
+            m.items[0],
+            Item::Global {
+                internal: false,
+                ..
+            }
+        ));
         assert!(matches!(
             m.items[1],
             Item::Global {

@@ -126,7 +126,10 @@ fn specialize(callee: &RoutineBody, sig: &ConstSig) -> RoutineBody {
 /// # Errors
 ///
 /// Propagates loader failures.
-pub fn clone_pass(session: &mut HloSession, options: &CloneOptions) -> Result<CloneStats, NaimError> {
+pub fn clone_pass(
+    session: &mut HloSession,
+    options: &CloneOptions,
+) -> Result<CloneStats, NaimError> {
     let mut stats = CloneStats::default();
     let graph = CallGraph::build(session)?;
     // (callee, const signature) -> clone id.
@@ -197,6 +200,14 @@ pub fn clone_pass(session: &mut HloSession, options: &CloneOptions) -> Result<Cl
                 let id = session.add_cloned_routine(meta, specialized, counts, sites)?;
                 clone_cache.insert(key, id);
                 stats.clones += 1;
+                let tel = session.telemetry();
+                if tel.is_enabled() {
+                    tel.emit(cmo_telemetry::TraceEvent::CloneRoutine {
+                        callee: session.program.name(callee_meta.name).to_owned(),
+                        clone: name,
+                        count: e.count,
+                    });
+                }
                 id
             }
         };

@@ -23,11 +23,31 @@
 
 use crate::callgraph::CallGraph;
 use crate::session::HloSession;
-use cmo_ir::{
-    Block, CallSiteId, Instr, Local, RoutineBody, RoutineId, Terminator, VReg,
-};
+use cmo_ir::{Block, CallSiteId, Instr, Local, RoutineBody, RoutineId, Terminator, VReg};
 use cmo_naim::NaimError;
+use cmo_telemetry::TraceEvent;
 use std::collections::BTreeSet;
+
+/// Builds an inline-decision trace event with resolved routine names.
+fn inline_event(
+    session: &HloSession,
+    caller: RoutineId,
+    callee: RoutineId,
+    site: CallSiteId,
+    accepted: bool,
+    reason: &'static str,
+    count: u64,
+) -> TraceEvent {
+    let program = &session.program;
+    TraceEvent::Inline {
+        caller: program.name(program.routine(caller).name).to_owned(),
+        callee: program.name(program.routine(callee).name).to_owned(),
+        site: site.0,
+        accepted,
+        reason,
+        count,
+    }
+}
 
 /// Inliner heuristics and limits.
 #[derive(Debug, Clone)]
@@ -243,10 +263,7 @@ fn splice_call(
                     }
                 }
                 Instr::Call {
-                    dst,
-                    args,
-                    site: s,
-                    ..
+                    dst, args, site: s, ..
                 } => {
                     if let Some(d) = dst {
                         *d = rv(*d);
@@ -302,6 +319,9 @@ struct Candidate {
     count: u64,
     /// Sort key for cache-friendly scheduling.
     module_pair: (u32, u32),
+    /// Which heuristic qualified this site (`"small"` or `"hot"`),
+    /// reported in the accepted-inline trace event.
+    why: &'static str,
 }
 
 /// Runs the inlining phase over the session.
@@ -317,6 +337,7 @@ pub fn inline_pass(
 ) -> Result<InlineStats, NaimError> {
     let mut stats = InlineStats::default();
     let mut ops_done = 0u64;
+    let tel = session.telemetry().clone();
 
     for _pass in 0..options.max_passes {
         // Derived-data discipline: rebuild the call graph from scratch.
@@ -350,7 +371,19 @@ pub fn inline_pass(
                     callee: e.callee,
                     count,
                     module_pair: (cm, rm),
+                    why: if small { "small" } else { "hot" },
                 });
+            } else if tel.is_enabled() {
+                let reason = if count < options.hot_site_min_count {
+                    "cold"
+                } else if callee_il > options.hot_callee_il {
+                    "too_large"
+                } else {
+                    "not_dominant"
+                };
+                tel.emit(inline_event(
+                    session, e.caller, e.callee, e.site, false, reason, count,
+                ));
             }
         }
         if candidates.is_empty() {
@@ -382,6 +415,17 @@ pub fn inline_pass(
             let callee_il = session.program.routine(c.callee).il_size;
             if caller_il.saturating_add(callee_il) > options.caller_growth_cap {
                 stats.capped += 1;
+                if tel.is_enabled() {
+                    tel.emit(inline_event(
+                        session,
+                        c.caller,
+                        c.callee,
+                        c.site,
+                        false,
+                        "growth_cap",
+                        c.count,
+                    ));
+                }
                 continue;
             }
             // Clone the callee body (it is only read), then mutate the
@@ -398,12 +442,28 @@ pub fn inline_pass(
 
             let caller_body = session.body_mut(c.caller)?;
             let Some(info) = splice_call(caller_body, c.site, &callee_body) else {
+                if tel.is_enabled() {
+                    tel.emit(inline_event(
+                        session,
+                        c.caller,
+                        c.callee,
+                        c.site,
+                        false,
+                        "site_gone",
+                        c.count,
+                    ));
+                }
                 continue;
             };
             let new_il = caller_body.instr_count() as u32;
             did_any = true;
             ops_done += 1;
             stats.inlines += 1;
+            if tel.is_enabled() {
+                tel.emit(inline_event(
+                    session, c.caller, c.callee, c.site, true, c.why, c.count,
+                ));
+            }
 
             // Maintain profile counts through the transformation.
             let scale = if callee_entry == 0 {
@@ -413,10 +473,7 @@ pub fn inline_pass(
             };
             let (counts, site_counts) = session.counts_mut(c.caller);
             if let Some(counts) = counts.as_mut() {
-                let call_block_count = counts
-                    .get(info.call_block.index())
-                    .copied()
-                    .unwrap_or(0);
+                let call_block_count = counts.get(info.call_block.index()).copied().unwrap_or(0);
                 // Continuation executes as often as the original block.
                 counts.resize(info.cont_block.index(), 0);
                 counts.push(call_block_count);
@@ -427,7 +484,10 @@ pub fn inline_pass(
                         .unwrap_or(callee_entry);
                     counts.push((c_i as f64 * scale) as u64);
                 }
-                debug_assert_eq!(counts.len(), (info.callee_base + info.callee_blocks) as usize);
+                debug_assert_eq!(
+                    counts.len(),
+                    (info.callee_base + info.callee_blocks) as usize
+                );
             }
             site_counts.remove(&c.site.0);
             for (old, new) in &info.site_map {
@@ -501,9 +561,8 @@ mod tests {
             .map(|i| format!("acc = acc + {i} * x;"))
             .collect::<Vec<_>>()
             .join("\n");
-        let callee = format!(
-            "fn work(x: int) -> int {{ var acc: int = 0; {big_body} return acc; }}"
-        );
+        let callee =
+            format!("fn work(x: int) -> int {{ var acc: int = 0; {big_body} return acc; }}");
         let mut s = session(
             &[
                 (
@@ -524,9 +583,8 @@ mod tests {
             .map(|i| format!("acc = acc + {i} * x;"))
             .collect::<Vec<_>>()
             .join("\n");
-        let callee = format!(
-            "fn work(x: int) -> int {{ var acc: int = 0; {big_body} return acc; }}"
-        );
+        let callee =
+            format!("fn work(x: int) -> int {{ var acc: int = 0; {big_body} return acc; }}");
         let srcs: Vec<(&str, &str)> = vec![
             (
                 "a",

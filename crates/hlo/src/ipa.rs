@@ -69,6 +69,9 @@ impl GlobalFacts {
                 }
             }
             session.unload(rid)?;
+            // One work unit per routine scanned: the deterministic
+            // stand-in for analysis time on the telemetry clock.
+            session.telemetry().work(1);
         }
         session.account_derived((n_globals * 2) as isize);
         Ok(facts)
@@ -145,6 +148,7 @@ pub fn fold_globals(
             removed += (before - block.instrs.len()) as u64;
         }
         session.unload(rid)?;
+        session.telemetry().work(1);
     }
     session.stats.globals_folded += folded;
     session.stats.dead_stores_removed += removed;
@@ -307,11 +311,15 @@ mod tests {
         assert_eq!(s.stats().dead_stores_removed, 1);
         let body = s.body(main).unwrap();
         // ro_config load folded to const 7; write_only_log store gone.
-        let has_const7 = body
-            .blocks
-            .iter()
-            .flat_map(|b| &b.instrs)
-            .any(|i| matches!(i, Instr::Const { value: Const::I(7), .. }));
+        let has_const7 = body.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+            matches!(
+                i,
+                Instr::Const {
+                    value: Const::I(7),
+                    ..
+                }
+            )
+        });
         assert!(has_const7);
         let stores: usize = body
             .blocks
@@ -329,10 +337,7 @@ mod tests {
                 "a",
                 "extern fn touch();\nglobal g: int = 0;\nfn main() -> int { touch(); return 0; }",
             ),
-            (
-                "b",
-                "extern global g: int;\nfn touch() { g = g + 1; }",
-            ),
+            ("b", "extern global g: int;\nfn touch() { g = g + 1; }"),
         ]);
         let cg = CallGraph::build(&mut s).unwrap();
         let mr = ModRef::build(&mut s, &cg).unwrap();

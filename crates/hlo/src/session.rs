@@ -3,6 +3,7 @@
 use cmo_ir::{LinkedUnit, ModuleId, Program, RoutineBody, RoutineId, Transitory};
 use cmo_naim::{Loader, MemClass, MemorySnapshot, NaimConfig, NaimError, PoolId, PoolKind};
 use cmo_profile::{ProfileDb, RoutineShape};
+use cmo_telemetry::Telemetry;
 use std::collections::BTreeMap;
 
 /// What [`HloSession::into_parts`] yields: the program, every routine
@@ -56,6 +57,7 @@ pub struct HloSession {
     /// Whether the stored profile was stale for this routine.
     stale: Vec<bool>,
     pub(crate) stats: HloStats,
+    telemetry: Telemetry,
 }
 
 /// Shape of a body as HLO sees it (for profile correlation).
@@ -81,12 +83,31 @@ impl HloSession {
         config: NaimConfig,
         db: Option<&ProfileDb>,
     ) -> Result<Self, NaimError> {
+        HloSession::new_with_telemetry(unit, config, db, Telemetry::disabled())
+    }
+
+    /// Like [`HloSession::new`], but attaches a telemetry sink: the
+    /// loader emits pool-state transition events into it, and HLO
+    /// passes emit their decision events through
+    /// [`HloSession::telemetry`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a NAIM error if the initial read-in exceeds the hard
+    /// memory limit.
+    pub fn new_with_telemetry(
+        unit: LinkedUnit,
+        config: NaimConfig,
+        db: Option<&ProfileDb>,
+        telemetry: Telemetry,
+    ) -> Result<Self, NaimError> {
         let LinkedUnit {
             program,
             bodies,
             symtabs,
         } = unit;
         let mut loader = Loader::new(config);
+        loader.set_telemetry(telemetry.clone());
         loader.account(MemClass::Global, program.heap_bytes() as isize);
 
         let mut counts = Vec::with_capacity(bodies.len());
@@ -154,7 +175,16 @@ impl HloSession {
             site_counts,
             stale,
             stats: HloStats::default(),
+            telemetry,
         })
+    }
+
+    /// The telemetry sink shared with this session's loader. Disabled
+    /// (a no-op handle) unless the session was built with
+    /// [`HloSession::new_with_telemetry`].
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Number of routines in the program.

@@ -361,11 +361,7 @@ impl<'a> RoutineBuilder<'a> {
     }
 
     fn terminate(&mut self, t: Terminator) {
-        assert!(
-            !self.terminated,
-            "block {} already terminated",
-            self.cur
-        );
+        assert!(!self.terminated, "block {} already terminated", self.cur);
         self.body.blocks[self.cur.index()].term = t;
         self.terminated = true;
     }

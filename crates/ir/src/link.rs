@@ -76,7 +76,10 @@ impl fmt::Display for LinkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LinkError::Undefined { module, name } => {
-                write!(f, "undefined symbol `{name}` referenced from module `{module}`")
+                write!(
+                    f,
+                    "undefined symbol `{name}` referenced from module `{module}`"
+                )
             }
             LinkError::DuplicateExport {
                 name,
@@ -377,7 +380,12 @@ mod tests {
 
     fn two_module_program() -> Vec<IlObject> {
         let mut a = IlObjectBuilder::new("a");
-        a.global("shared", VarTy::scalar(Ty::I64), Linkage::Export, GlobalInit::Zero);
+        a.global(
+            "shared",
+            VarTy::scalar(Ty::I64),
+            Linkage::Export,
+            GlobalInit::Zero,
+        );
         let mut f = a.routine("main", Signature::new(vec![], Some(Ty::I64)));
         let x = f.const_i64(5);
         let r = f.call("helper", vec![x]);
@@ -450,10 +458,7 @@ mod tests {
             let mut f = b.internal_routine("local_helper", Signature::default());
             f.ret(None);
             f.finish();
-            let mut m = b.routine(
-                &format!("entry_{module}"),
-                Signature::default(),
-            );
+            let mut m = b.routine(&format!("entry_{module}"), Signature::default());
             m.call_void("local_helper", vec![]);
             m.ret(None);
             m.finish();
@@ -493,13 +498,25 @@ mod tests {
         let g = b.routine("callee", Signature::new(vec![], None));
         g.finish();
         let err = link_objects(vec![a.finish(), b.finish()]).unwrap_err();
-        assert!(matches!(err, LinkError::ArityMismatch { expected: 0, got: 1, .. }));
+        assert!(matches!(
+            err,
+            LinkError::ArityMismatch {
+                expected: 0,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn array_scalar_mismatch_is_reported() {
         let mut a = IlObjectBuilder::new("a");
-        a.global("table", VarTy::array(Ty::I64, 8), Linkage::Export, GlobalInit::Zero);
+        a.global(
+            "table",
+            VarTy::array(Ty::I64, 8),
+            Linkage::Export,
+            GlobalInit::Zero,
+        );
         let mut f = a.routine("main", Signature::default());
         let _ = f.load_global("table"); // scalar access to an array
         f.ret(None);

@@ -76,7 +76,11 @@ impl ModuleSymbols {
     pub fn heap_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.globals.capacity() * std::mem::size_of::<GlobalVar>()
-            + self.globals.iter().map(|g| g.init.heap_bytes()).sum::<usize>()
+            + self
+                .globals
+                .iter()
+                .map(|g| g.init.heap_bytes())
+                .sum::<usize>()
     }
 }
 

@@ -10,7 +10,9 @@
 use crate::ids::Sym;
 use crate::intern::Interner;
 use crate::module::{Linkage, ModuleSymbols};
-use crate::relocs::{decode_body, decode_sig, decode_symbols, encode_body, encode_sig, encode_symbols};
+use crate::relocs::{
+    decode_body, decode_sig, decode_symbols, encode_body, encode_sig, encode_symbols,
+};
 use crate::routine::RoutineBody;
 use crate::types::Signature;
 use cmo_naim::{DecodeError, Decoder, Encoder};

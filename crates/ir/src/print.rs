@@ -87,7 +87,10 @@ pub fn print_routine(name: &str, body: &RoutineBody, program: Option<&Program>) 
                         .join(", ");
                     match dst {
                         Some(d) => {
-                            format!("{d} = call {}({args}) !{site}", fmt_callee(*callee, program))
+                            format!(
+                                "{d} = call {}({args}) !{site}",
+                                fmt_callee(*callee, program)
+                            )
                         }
                         None => format!("call {}({args}) !{site}", fmt_callee(*callee, program)),
                     }

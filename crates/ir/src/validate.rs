@@ -63,7 +63,10 @@ pub fn validate_body(
 
     let check_vreg = |r: crate::VReg, what: &str| -> Result<(), ValidateError> {
         if r.0 >= n_vregs {
-            Err(err(rid, format!("{what} register {r} out of range ({n_vregs} vregs)")))
+            Err(err(
+                rid,
+                format!("{what} register {r} out of range ({n_vregs} vregs)"),
+            ))
         } else {
             Ok(())
         }
@@ -177,10 +180,7 @@ pub fn validate_body(
 /// # Errors
 ///
 /// Returns the first defect found across all routines.
-pub fn validate_unit(
-    program: &Program,
-    bodies: &[RoutineBody],
-) -> Result<(), ValidateError> {
+pub fn validate_unit(program: &Program, bodies: &[RoutineBody]) -> Result<(), ValidateError> {
     for (i, body) in bodies.iter().enumerate() {
         validate_body(RoutineId::from_index(i), body, program)?;
     }
@@ -215,7 +215,9 @@ mod tests {
     #[test]
     fn out_of_range_vreg_is_caught() {
         let (program, mut bodies) = linked_simple();
-        bodies[0].blocks[0].instrs.push(Instr::Output { src: VReg(99) });
+        bodies[0].blocks[0]
+            .instrs
+            .push(Instr::Output { src: VReg(99) });
         let e = validate_unit(&program, &bodies).unwrap_err();
         assert!(e.what.contains("out of range"));
         assert!(!e.to_string().is_empty());

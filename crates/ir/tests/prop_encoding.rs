@@ -3,9 +3,9 @@
 //! panic.
 
 use cmo_ir::{
-    BinOp, Block, BlockData, CallSiteId, Const, GlobalId, GlobalInit, GlobalRef, Instr, Local,
-    MemBase, ModuleSymbols, RoutineBody, RoutineId, Sym, Terminator, Transitory, UnOp, VReg,
-    VarTy, GlobalVar, Linkage, Ty,
+    BinOp, Block, BlockData, CallSiteId, Const, GlobalId, GlobalInit, GlobalRef, GlobalVar, Instr,
+    Linkage, Local, MemBase, ModuleSymbols, RoutineBody, RoutineId, Sym, Terminator, Transitory,
+    Ty, UnOp, VReg, VarTy,
 };
 use cmo_naim::{Decoder, Encoder, Relocatable};
 use proptest::prelude::*;
@@ -73,8 +73,12 @@ fn vreg() -> impl Strategy<Value = VReg> {
 fn arb_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![
         (vreg(), arb_const()).prop_map(|(dst, value)| Instr::Const { dst, value }),
-        (vreg(), arb_binop(), vreg(), vreg())
-            .prop_map(|(dst, op, lhs, rhs)| Instr::Bin { dst, op, lhs, rhs }),
+        (vreg(), arb_binop(), vreg(), vreg()).prop_map(|(dst, op, lhs, rhs)| Instr::Bin {
+            dst,
+            op,
+            lhs,
+            rhs
+        }),
         (vreg(), arb_unop(), vreg()).prop_map(|(dst, op, src)| Instr::Un { dst, op, src }),
         (vreg(), vreg()).prop_map(|(dst, src)| Instr::Mov { dst, src }),
         (vreg(), 0u32..64).prop_map(|(dst, l)| Instr::LoadLocal {
@@ -87,10 +91,16 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
         }),
         (vreg(), arb_global_ref()).prop_map(|(dst, global)| Instr::LoadGlobal { dst, global }),
         (arb_global_ref(), vreg()).prop_map(|(global, src)| Instr::StoreGlobal { global, src }),
-        (vreg(), arb_mem_base(), vreg())
-            .prop_map(|(dst, base, index)| Instr::LoadElem { dst, base, index }),
-        (arb_mem_base(), vreg(), vreg())
-            .prop_map(|(base, index, src)| Instr::StoreElem { base, index, src }),
+        (vreg(), arb_mem_base(), vreg()).prop_map(|(dst, base, index)| Instr::LoadElem {
+            dst,
+            base,
+            index
+        }),
+        (arb_mem_base(), vreg(), vreg()).prop_map(|(base, index, src)| Instr::StoreElem {
+            base,
+            index,
+            src
+        }),
         (
             proptest::option::of(vreg()),
             0u32..500,

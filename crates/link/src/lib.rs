@@ -18,7 +18,8 @@
 
 use cmo_ir::{GlobalId, GlobalInit, ModuleSymbols, Program, RoutineId};
 use cmo_llo::{GlobalLayout, LoweredRoutine};
-use cmo_profile::{ProbeKind, ProbeKey};
+use cmo_profile::{ProbeKey, ProbeKind};
+use cmo_telemetry::Telemetry;
 use cmo_vm::{MInstr, MRoutineInfo, MachineImage};
 use std::collections::HashMap;
 
@@ -43,6 +44,10 @@ pub struct LinkOptions {
     /// one-instruction stub, saving image space (dead routine
     /// elimination's link-time half).
     pub dead: Vec<RoutineId>,
+    /// Telemetry sink: [`assemble`] charges one work unit per machine
+    /// instruction placed, so the final-link phase has a deterministic
+    /// span on the work clock. Disabled (no-op) by default.
+    pub telemetry: Telemetry,
 }
 
 /// Computes a routine emission order by greedy chain merging
@@ -84,7 +89,9 @@ pub fn cluster_routines(n_routines: usize, arcs: &[CallArc]) -> Vec<RoutineId> {
         weight[chain_of[arc.caller.index()]] += arc.weight;
         weight[chain_of[arc.callee.index()]] += arc.weight;
     }
-    let mut chain_ids: Vec<usize> = (0..chains.len()).filter(|&c| !chains[c].is_empty()).collect();
+    let mut chain_ids: Vec<usize> = (0..chains.len())
+        .filter(|&c| !chains[c].is_empty())
+        .collect();
     chain_ids.sort_by(|&a, &b| weight[b].cmp(&weight[a]).then(a.cmp(&b)));
     let mut order = Vec::with_capacity(n_routines);
     for c in chain_ids {
@@ -175,6 +182,7 @@ pub fn assemble(
             lr.code.clone()
         };
         let code_len = code.len() as u32;
+        options.telemetry.work(u64::from(code_len));
         for mut mi in code {
             match &mut mi {
                 MInstr::Jmp { target } | MInstr::Br { target, .. } => *target += base,
@@ -205,10 +213,7 @@ pub fn assemble(
     image.routines = (0..n)
         .map(|i| routine_infos.remove(&i).expect("every routine placed"))
         .collect();
-    image.entry_routine = program
-        .main_routine()
-        .expect("program must define main")
-        .0;
+    image.entry_routine = program.main_routine().expect("program must define main").0;
     image
 }
 
@@ -231,9 +236,7 @@ mod tests {
             .bodies
             .iter()
             .enumerate()
-            .map(|(i, b)| {
-                lower_routine(RoutineId::from_index(i), b, &unit.program, &layout, llo)
-            })
+            .map(|(i, b)| lower_routine(RoutineId::from_index(i), b, &unit.program, &layout, llo))
             .collect();
         assemble(&unit.program, lowered, &unit.symtabs, &layout, options)
     }

@@ -513,7 +513,7 @@ mod tests {
     use super::*;
     use cmo_frontend::compile_module;
     use cmo_ir::link_objects;
-    use cmo_vm::{run, MachineImage, MRoutineInfo, RunConfig};
+    use cmo_vm::{run, MRoutineInfo, MachineImage, RunConfig};
 
     /// Minimal single-module "linker" for unit tests: lowers every
     /// routine and concatenates in id order.
@@ -715,8 +715,7 @@ mod tests {
             decls.push_str(&format!("var x{i}: int = input();\n"));
             sum = format!("({sum} + x{i})");
         }
-        let src =
-            format!("fn main() -> int {{ {decls} var a: int = {sum}; return a + {sum}; }}");
+        let src = format!("fn main() -> int {{ {decls} var a: int = {sum}; return a + {sum}; }}");
         let image = build_image(&src, &LloOptions::default());
         let input: Vec<i64> = (1..=n as i64).collect();
         let r = run(&image, &input, &RunConfig::default()).unwrap();

@@ -8,9 +8,7 @@
 //! inlining, which is where the paper's CMO wins materialize: inlined
 //! constants feed folding, and inlined branches become redundant.
 
-use cmo_ir::{
-    BinOp, Block, BlockData, Const, Instr, Local, RoutineBody, Terminator, UnOp, VReg,
-};
+use cmo_ir::{BinOp, Block, BlockData, Const, Instr, Local, RoutineBody, Terminator, UnOp, VReg};
 use std::collections::HashMap;
 
 /// Statistics from one optimization run, for diagnostics and tests.
@@ -256,9 +254,7 @@ pub fn merge_blocks(body: &mut RoutineBody) -> OptStats {
         loop {
             let target = &body.blocks[b.index()];
             match target.term {
-                Terminator::Jump(next)
-                    if target.instrs.is_empty() && next != b && hops < n =>
-                {
+                Terminator::Jump(next) if target.instrs.is_empty() && next != b && hops < n => {
                     b = next;
                     hops += 1;
                 }
@@ -296,10 +292,8 @@ pub fn merge_blocks(body: &mut RoutineBody) -> OptStats {
                 break;
             }
             let merged = std::mem::take(&mut body.blocks[b.index()].instrs);
-            let term = std::mem::replace(
-                &mut body.blocks[b.index()].term,
-                Terminator::Return(None),
-            );
+            let term =
+                std::mem::replace(&mut body.blocks[b.index()].term, Terminator::Return(None));
             // Leave b as an unreachable husk; remove_unreachable
             // renumbers later.
             pred_count[b.index()] = 0;
@@ -352,8 +346,7 @@ pub fn dead_code_elim(body: &mut RoutineBody) -> OptStats {
                     Instr::StoreLocal { local, .. } => !local_read[local.index()],
                     _ => {
                         !i.has_side_effects()
-                            && i
-                                .def()
+                            && i.def()
                                 .is_some_and(|d| !used.get(d.index()).copied().unwrap_or(true))
                     }
                 };
@@ -476,9 +469,8 @@ mod tests {
 
     #[test]
     fn constants_fold_through_locals() {
-        let mut body = body_of(
-            "fn main() -> int { var x: int = 6; var y: int = 7; return x * y; }",
-        );
+        let mut body =
+            body_of("fn main() -> int { var x: int = 6; var y: int = 7; return x * y; }");
         let before = body.instr_count();
         optimize(&mut body);
         // Final shape: stores remain (locals could be observed by a
@@ -491,19 +483,22 @@ mod tests {
             .any(|i| matches!(i, Instr::Bin { op: BinOp::Mul, .. }));
         assert!(!has_mul);
         assert!(body.instr_count() <= before);
-        let has_42 = body
-            .blocks
-            .iter()
-            .flat_map(|b| &b.instrs)
-            .any(|i| matches!(i, Instr::Const { value: Const::I(42), .. }));
+        let has_42 = body.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+            matches!(
+                i,
+                Instr::Const {
+                    value: Const::I(42),
+                    ..
+                }
+            )
+        });
         assert!(has_42);
     }
 
     #[test]
     fn constant_branch_becomes_jump_and_prunes_blocks() {
-        let mut body = body_of(
-            "fn main() -> int { if (1 < 2) { return 10; } else { return 20; } }",
-        );
+        let mut body =
+            body_of("fn main() -> int { if (1 < 2) { return 10; } else { return 20; } }");
         let blocks_before = body.blocks.len();
         let stats = optimize(&mut body);
         assert!(stats.branches >= 1);
@@ -624,15 +619,17 @@ mod count_tests {
         // Every surviving count is one of the original tags (no
         // invented values).
         for &c in &counts {
-            assert!((1000..1000 + n_before as u64).contains(&c), "bogus count {c}");
+            assert!(
+                (1000..1000 + n_before as u64).contains(&c),
+                "bogus count {c}"
+            );
         }
     }
 
     #[test]
     fn merging_preserves_loop_structure_counts() {
-        let mut body = body_of(
-            "fn main() -> int { var i: int = 0; while (i < 9) { i = i + 1; } return i; }",
-        );
+        let mut body =
+            body_of("fn main() -> int { var i: int = 0; while (i < 9) { i = i + 1; } return i; }");
         let mut counts: Vec<u64> = vec![1, 10, 9, 1, 1, 1][..body.blocks.len().min(6)].to_vec();
         counts.resize(body.blocks.len(), 1);
         optimize_with_counts(&mut body, Some(&mut counts));
@@ -644,9 +641,7 @@ mod count_tests {
     #[test]
     fn optimize_without_counts_is_equivalent_code() {
         let make = || {
-            body_of(
-                "fn main() -> int { var a: int = 2 * 3; if (a == 6) { return a; } return 0; }",
-            )
+            body_of("fn main() -> int { var a: int = 2 * 3; if (a == 6) { return a; } return 0; }")
         };
         let mut with = make();
         let mut counts = vec![1; with.blocks.len()];

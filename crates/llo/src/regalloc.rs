@@ -318,9 +318,7 @@ mod tests {
             sum = format!("({sum} + x{i} * x{i})");
         }
         // Keeping xi live: reuse them all again after the first sum.
-        let src = format!(
-            "fn main() -> int {{ {decls} var a: int = {sum}; return a + {sum}; }}"
-        );
+        let src = format!("fn main() -> int {{ {decls} var a: int = {sum}; return a + {sum}; }}");
         let body = body_of(&src);
         let alloc = allocate_default(&body);
         // The frontend lowers through locals (slots), so pressure here

@@ -87,12 +87,7 @@ impl MemorySnapshot {
 
 impl fmt::Display for MemorySnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "total={}B (peak {}B):",
-            self.total(),
-            self.peak_total
-        )?;
+        write!(f, "total={}B (peak {}B):", self.total(), self.peak_total)?;
         for class in MemClass::ALL {
             write!(f, " {}={}B", class, self.class(class))?;
         }

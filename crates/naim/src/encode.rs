@@ -333,7 +333,10 @@ mod tests {
             let mut e = Encoder::new();
             e.write_f64(v);
             let bytes = e.into_bytes();
-            assert_eq!(Decoder::new(&bytes).read_f64().unwrap().to_bits(), v.to_bits());
+            assert_eq!(
+                Decoder::new(&bytes).read_f64().unwrap().to_bits(),
+                v.to_bits()
+            );
         }
     }
 
@@ -356,7 +359,10 @@ mod tests {
         let mut bytes = e.into_bytes();
         bytes.truncate(2);
         let mut d = Decoder::new(&bytes);
-        assert!(matches!(d.read_u64(), Err(DecodeError::UnexpectedEof { .. })));
+        assert!(matches!(
+            d.read_u64(),
+            Err(DecodeError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]

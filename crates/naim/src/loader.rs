@@ -11,6 +11,7 @@ use crate::accounting::{MemClass, MemoryAccountant, MemorySnapshot};
 use crate::encode::{Decoder, Encoder};
 use crate::error::{DecodeError, NaimError};
 use crate::repository::{MemBackend, RepoBackend, RepoHandle, Repository};
+use cmo_telemetry::{Telemetry, TraceEvent};
 
 /// An object that has both expanded and relocatable forms (§4.2.1).
 ///
@@ -233,6 +234,15 @@ pub struct Loader<T, B = MemBackend> {
     slots: Vec<Slot<T>>,
     clock: u64,
     stats: LoaderStats,
+    telemetry: Telemetry,
+}
+
+/// Trace-event kind string for a pool kind.
+fn kind_str(kind: PoolKind) -> &'static str {
+    match kind {
+        PoolKind::Ir => "ir",
+        PoolKind::SymTab => "symtab",
+    }
 }
 
 impl<T: Relocatable> Loader<T, MemBackend> {
@@ -253,7 +263,25 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
             slots: Vec::new(),
             clock: 0,
             stats: LoaderStats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink; pool-state transitions are emitted as
+    /// [`TraceEvent::Pool`] events and NAIM traffic costs advance the
+    /// sink's work-unit clock.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Rank of `idx` in the unload-pending LRU for its kind
+    /// (0 = least recently used; 0 also when not in the cache).
+    fn lru_rank(&self, idx: usize) -> u32 {
+        let kind = self.slots[idx].kind;
+        self.pending_lru(kind)
+            .iter()
+            .position(|&i| i == idx)
+            .unwrap_or(0) as u32
     }
 
     /// The active configuration.
@@ -345,12 +373,22 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
 
     fn expand(&mut self, id: PoolId) -> Result<(), NaimError> {
         let idx = id.index();
+        let kind = kind_str(self.slots[idx].kind);
         // Bring offloaded data back into memory first.
         if let State::Offloaded(handle) = self.slots[idx].state {
             let image = self.repo.fetch(handle)?;
+            let cost = image.len() as u64 * self.config.disk_cost_per_byte;
             self.stats.offload_reads += 1;
             self.stats.bytes_offloaded += image.len() as u64;
-            self.stats.work_units += image.len() as u64 * self.config.disk_cost_per_byte;
+            self.stats.work_units += cost;
+            self.telemetry.work(cost);
+            self.telemetry.emit(TraceEvent::Pool {
+                action: "fetch",
+                pool: id.0,
+                kind,
+                bytes: image.len() as u64,
+                lru_pos: 0,
+            });
             self.accountant
                 .add(MemClass::TransitoryCompact, image.len());
             self.slots[idx].state = State::Compact(image);
@@ -360,15 +398,24 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
             let value = T::uncompact(&mut dec)?;
             let image_len = image.len();
             let size = value.expanded_bytes();
+            let cost = image_len as u64 * self.config.compact_cost_per_byte;
             self.stats.uncompactions += 1;
             self.stats.bytes_swizzled += image_len as u64;
-            self.stats.work_units += image_len as u64 * self.config.compact_cost_per_byte;
+            self.stats.work_units += cost;
             self.accountant
                 .remove(MemClass::TransitoryCompact, image_len);
             self.accountant.add(MemClass::TransitoryExpanded, size);
             let slot = &mut self.slots[idx];
             slot.expanded_size = size;
             slot.state = State::Expanded(value);
+            self.telemetry.work(cost);
+            self.telemetry.emit(TraceEvent::Pool {
+                action: "expand",
+                pool: id.0,
+                kind,
+                bytes: image_len as u64,
+                lru_pos: 0,
+            });
         }
         Ok(())
     }
@@ -422,7 +469,15 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
                 self.stats.hits += 1;
                 if self.slots[idx].unload_pending {
                     // The paper's cache win: only a state change, no work.
+                    let lru_pos = self.lru_rank(idx);
                     self.stats.cache_rescues += 1;
+                    self.telemetry.emit(TraceEvent::Pool {
+                        action: "rescue",
+                        pool: id.0,
+                        kind: kind_str(self.slots[idx].kind),
+                        bytes: self.slots[idx].expanded_size as u64,
+                        lru_pos,
+                    });
                 }
             }
             _ => self.expand(id)?,
@@ -445,8 +500,10 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
         if let State::Expanded(v) = &self.slots[idx].state {
             let new_size = v.expanded_bytes();
             let old_size = self.slots[idx].expanded_size;
-            self.accountant
-                .adjust(MemClass::TransitoryExpanded, new_size as isize - old_size as isize);
+            self.accountant.adjust(
+                MemClass::TransitoryExpanded,
+                new_size as isize - old_size as isize,
+            );
             self.slots[idx].expanded_size = new_size;
         }
     }
@@ -490,17 +547,28 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
     }
 
     fn compact_slot(&mut self, idx: usize) {
+        let lru_pos = self.lru_rank(idx);
         let slot = &mut self.slots[idx];
         if let State::Expanded(v) = &slot.state {
             let mut enc = Encoder::with_capacity(slot.compact_size.max(64));
             v.compact(&mut enc);
             let image = enc.into_bytes();
+            let cost = image.len() as u64 * self.config.compact_cost_per_byte;
             self.stats.compactions += 1;
             self.stats.bytes_swizzled += image.len() as u64;
-            self.stats.work_units += image.len() as u64 * self.config.compact_cost_per_byte;
+            self.stats.work_units += cost;
+            self.telemetry.work(cost);
+            self.telemetry.emit(TraceEvent::Pool {
+                action: "compact",
+                pool: idx as u32,
+                kind: kind_str(slot.kind),
+                bytes: image.len() as u64,
+                lru_pos,
+            });
             self.accountant
                 .remove(MemClass::TransitoryExpanded, slot.expanded_size);
-            self.accountant.add(MemClass::TransitoryCompact, image.len());
+            self.accountant
+                .add(MemClass::TransitoryCompact, image.len());
             slot.compact_size = image.len();
             slot.unload_pending = false;
             slot.state = State::Compact(image);
@@ -515,9 +583,18 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
             _ => return Ok(()),
         };
         let handle = self.repo.store(&image)?;
+        let cost = image.len() as u64 * self.config.disk_cost_per_byte;
         self.stats.offload_writes += 1;
         self.stats.bytes_offloaded += image.len() as u64;
-        self.stats.work_units += image.len() as u64 * self.config.disk_cost_per_byte;
+        self.stats.work_units += cost;
+        self.telemetry.work(cost);
+        self.telemetry.emit(TraceEvent::Pool {
+            action: "offload",
+            pool: idx as u32,
+            kind: kind_str(self.slots[idx].kind),
+            bytes: image.len() as u64,
+            lru_pos: 0,
+        });
         self.accountant
             .remove(MemClass::TransitoryCompact, image.len());
         self.slots[idx].state = State::Offloaded(handle);
@@ -687,8 +764,7 @@ mod tests {
 
     #[test]
     fn naim_off_never_compacts_even_over_budget() {
-        let mut loader: Loader<Blob> =
-            Loader::new(NaimConfig::disabled());
+        let mut loader: Loader<Blob> = Loader::new(NaimConfig::disabled());
         for i in 0..64 {
             loader.insert(Blob::of(i, 200), PoolKind::Ir);
         }

@@ -245,7 +245,10 @@ mod tests {
     #[test]
     fn out_of_range_read_errors() {
         let mut repo = Repository::in_memory();
-        let bogus = RepoHandle { offset: 100, len: 4 };
+        let bogus = RepoHandle {
+            offset: 100,
+            len: 4,
+        };
         assert!(repo.fetch(bogus).is_err());
     }
 

@@ -214,7 +214,11 @@ impl ProfileDb {
     /// returned — consumers decide how much to trust it — except that
     /// counts beyond the current shape are clipped.
     #[must_use]
-    pub fn lookup(&self, routine: &str, current: RoutineShape) -> (Freshness, Option<&RoutineProfile>) {
+    pub fn lookup(
+        &self,
+        routine: &str,
+        current: RoutineShape,
+    ) -> (Freshness, Option<&RoutineProfile>) {
         match self.routines.get(routine) {
             None => (Freshness::Missing, None),
             Some(p) if p.shape == current => (Freshness::Fresh, Some(p)),
@@ -264,7 +268,11 @@ impl ProfileDb {
                 v.push((name.clone(), i as u32, c));
             }
         }
-        v.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        v.sort_by(|a, b| {
+            b.2.cmp(&a.2)
+                .then_with(|| a.0.cmp(&b.0))
+                .then(a.1.cmp(&b.1))
+        });
         v
     }
 

@@ -10,47 +10,42 @@ struct Run {
 }
 
 fn arb_run() -> impl Strategy<Value = Run> {
-    proptest::collection::vec(
-        (
-            "[a-z]{1,8}",
-            1u32..6,
-            0u32..5,
-            any::<u64>(),
-        ),
-        1..6,
-    )
-    .prop_flat_map(|metas| {
-        let strategies: Vec<_> = metas
-            .into_iter()
-            .enumerate()
-            // A real probe table has one shape per routine name; make
-            // generated names unique so the fixture matches that
-            // invariant.
-            .map(|(i, (name, nb, ns, fp))| (format!("{name}_{i}"), nb, ns, fp))
-            .map(|(name, nb, ns, fp)| {
-                let blocks = proptest::collection::vec(0u64..1_000_000, nb as usize..=nb as usize);
-                let sites = proptest::collection::vec(0u64..1_000_000, ns as usize..=ns as usize);
-                (Just(name), Just(nb), Just(ns), Just(fp), blocks, sites)
-            })
-            .collect();
-        strategies.prop_map(|rows| Run {
-            routines: rows
+    proptest::collection::vec(("[a-z]{1,8}", 1u32..6, 0u32..5, any::<u64>()), 1..6).prop_flat_map(
+        |metas| {
+            let strategies: Vec<_> = metas
                 .into_iter()
-                .map(|(name, nb, ns, fp, blocks, sites)| {
-                    (
-                        name,
-                        RoutineShape {
-                            n_blocks: nb,
-                            n_sites: ns,
-                            fingerprint: fp,
-                        },
-                        blocks,
-                        sites,
-                    )
+                .enumerate()
+                // A real probe table has one shape per routine name; make
+                // generated names unique so the fixture matches that
+                // invariant.
+                .map(|(i, (name, nb, ns, fp))| (format!("{name}_{i}"), nb, ns, fp))
+                .map(|(name, nb, ns, fp)| {
+                    let blocks =
+                        proptest::collection::vec(0u64..1_000_000, nb as usize..=nb as usize);
+                    let sites =
+                        proptest::collection::vec(0u64..1_000_000, ns as usize..=ns as usize);
+                    (Just(name), Just(nb), Just(ns), Just(fp), blocks, sites)
                 })
-                .collect(),
-        })
-    })
+                .collect();
+            strategies.prop_map(|rows| Run {
+                routines: rows
+                    .into_iter()
+                    .map(|(name, nb, ns, fp, blocks, sites)| {
+                        (
+                            name,
+                            RoutineShape {
+                                n_blocks: nb,
+                                n_sites: ns,
+                                fingerprint: fp,
+                            },
+                            blocks,
+                            sites,
+                        )
+                    })
+                    .collect(),
+            })
+        },
+    )
 }
 
 fn record(db: &mut ProfileDb, run: &Run) {

@@ -24,6 +24,7 @@
 
 use cmo_ir::{CallSiteId, Instr, ModuleId, Program, RoutineBody, RoutineId};
 use cmo_profile::ProfileDb;
+use cmo_telemetry::{Telemetry, TraceEvent};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One ranked call site.
@@ -116,18 +117,63 @@ pub fn coarse_select(
     db: &ProfileDb,
     percent: f64,
 ) -> SelectionPlan {
+    coarse_select_traced(program, bodies, db, percent, &Telemetry::disabled())
+}
+
+/// Like [`coarse_select`], but emits a [`TraceEvent::SelectSite`] for
+/// every ranked site (kept or cut, with its rank and count) and a
+/// [`TraceEvent::SelectModule`] for every module, into `telemetry`.
+#[must_use]
+pub fn coarse_select_traced(
+    program: &Program,
+    bodies: &[RoutineBody],
+    db: &ProfileDb,
+    percent: f64,
+    telemetry: &Telemetry,
+) -> SelectionPlan {
     let percent = percent.clamp(0.0, 100.0);
     let ranked = rank_sites(program, bodies, db);
     let keep = ((ranked.len() as f64) * percent / 100.0).ceil() as usize;
-    let keep = if percent == 0.0 { 0 } else { keep.max(1).min(ranked.len()) };
+    let keep = if percent == 0.0 {
+        0
+    } else {
+        keep.max(1).min(ranked.len())
+    };
+    if telemetry.is_enabled() {
+        for (rank, s) in ranked.iter().enumerate() {
+            telemetry.emit(TraceEvent::SelectSite {
+                caller: program.name(program.routine(s.caller).name).to_owned(),
+                site: s.site.0,
+                rank: rank as u32,
+                count: s.count,
+                selected: rank < keep,
+            });
+        }
+    }
     let selected: Vec<RankedSite> = ranked.into_iter().take(keep).collect();
 
     let mut plan = SelectionPlan::default();
+    let mut module_sites: BTreeMap<ModuleId, u32> = BTreeMap::new();
     for s in &selected {
-        plan.cmo_modules.insert(program.routine(s.caller).module);
-        plan.cmo_modules.insert(program.routine(s.callee).module);
+        for m in [
+            program.routine(s.caller).module,
+            program.routine(s.callee).module,
+        ] {
+            plan.cmo_modules.insert(m);
+            *module_sites.entry(m).or_insert(0) += 1;
+        }
         plan.hot_routines.insert(s.caller);
         plan.hot_routines.insert(s.callee);
+    }
+    if telemetry.is_enabled() {
+        for m in 0..program.modules().len() {
+            let mid = ModuleId::from_index(m);
+            telemetry.emit(TraceEvent::SelectModule {
+                module: program.name(program.module(mid).name).to_owned(),
+                sites: module_sites.get(&mid).copied().unwrap_or(0),
+                selected: plan.cmo_modules.contains(&mid),
+            });
+        }
     }
     plan.selected_sites = selected;
     let total: u64 = program.total_source_lines();

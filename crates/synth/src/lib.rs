@@ -156,7 +156,9 @@ pub fn generate(spec: &SynthSpec) -> SynthApp {
     // --- Structure: modules, routines, levels. ---
     let mut modules: Vec<ModuleModel> = Vec::with_capacity(spec.modules);
     for m in 0..spec.modules {
-        let k = rng.gen_range(spec.routines_per_module.0..=spec.routines_per_module.1.max(spec.routines_per_module.0));
+        let k = rng.gen_range(
+            spec.routines_per_module.0..=spec.routines_per_module.1.max(spec.routines_per_module.0),
+        );
         let float_flavored = rng.gen_bool(spec.float_module_frac.clamp(0.0, 1.0));
         let mut routines = Vec::with_capacity(k);
         for r in 0..k {
@@ -171,7 +173,8 @@ pub fn generate(spec: &SynthSpec) -> SynthApp {
                 level,
                 arity: rng.gen_range(1..=3),
                 stmts: rng.gen_range(
-                    spec.stmts_per_routine.0..=spec.stmts_per_routine.1.max(spec.stmts_per_routine.0),
+                    spec.stmts_per_routine.0
+                        ..=spec.stmts_per_routine.1.max(spec.stmts_per_routine.0),
                 ),
                 calls: Vec::new(),
                 exported: r == 0, // entries are exported; more later
@@ -189,11 +192,7 @@ pub fn generate(spec: &SynthSpec) -> SynthApp {
     let all: Vec<(usize, usize, usize)> = modules
         .iter()
         .enumerate()
-        .flat_map(|(m, mm)| {
-            mm.routines
-                .iter()
-                .map(move |r| (m, r.index, r.level))
-        })
+        .flat_map(|(m, mm)| mm.routines.iter().map(move |r| (m, r.index, r.level)))
         .collect();
 
     // --- Call wiring: acyclic by level, bounded fan-out, tree-ish
@@ -339,7 +338,10 @@ pub fn generate(spec: &SynthSpec) -> SynthApp {
         render::render_main(spec, &modules, n_entries),
     ));
     for (m, model) in modules.iter().enumerate() {
-        out_modules.push((format!("m{m}"), render::render_module(spec, &modules, m, model)));
+        out_modules.push((
+            format!("m{m}"),
+            render::render_module(spec, &modules, m, model),
+        ));
     }
     let total_lines: u64 = out_modules
         .iter()
@@ -372,9 +374,8 @@ mod tests {
             .modules
             .iter()
             .map(|(name, src)| {
-                compile_module(name, src).unwrap_or_else(|e| {
-                    panic!("module {name} failed: {e}\n--- source ---\n{src}")
-                })
+                compile_module(name, src)
+                    .unwrap_or_else(|e| panic!("module {name} failed: {e}\n--- source ---\n{src}"))
             })
             .collect();
         let unit = link_objects(objs).expect("must link");

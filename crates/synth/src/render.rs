@@ -18,11 +18,7 @@ fn params_decl(arity: usize) -> String {
 }
 
 /// Renders the module defining `main` with its dispatch loop.
-pub(crate) fn render_main(
-    spec: &SynthSpec,
-    modules: &[ModuleModel],
-    n_entries: usize,
-) -> String {
+pub(crate) fn render_main(spec: &SynthSpec, modules: &[ModuleModel], n_entries: usize) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "// {}: synthetic driver module", spec.name);
     #[allow(clippy::needless_range_loop)]
@@ -189,8 +185,7 @@ pub(crate) fn render_module(
                     }
                     3 => {
                         let c = rng.gen_range(1..6);
-                        let _ =
-                            writeln!(s, "        acc = (acc * {c} + i) % 1048576;");
+                        let _ = writeln!(s, "        acc = (acc * {c} + i) % 1048576;");
                     }
                     _ => {
                         // Manifest-constant arithmetic (C macros and

@@ -1,0 +1,541 @@
+#![warn(missing_docs)]
+//! Deterministic structured telemetry for the compilation pipeline.
+//!
+//! The paper's entire evaluation (Figures 4, 5 and 6) is
+//! observability-driven: loader byte accounting, compaction/offload
+//! activity, and selectivity-versus-work curves. This crate is the
+//! substrate those measurements flow through:
+//!
+//! * [`Telemetry`] — a cheaply cloneable handle to a shared event
+//!   sink. Disabled by default (every operation is a no-op), enabled
+//!   with [`Telemetry::enabled`].
+//! * Hierarchical **phase timers** ([`Telemetry::phase`]): each phase
+//!   records its span on the *monotonic work-unit clock* (advanced by
+//!   [`Telemetry::work`]) plus wall time. Wall time is kept out of all
+//!   serialized output so trace *content* is byte-identical across
+//!   runs; the work-unit clock is the deterministic stand-in.
+//! * Typed **trace events** ([`TraceEvent`]) for NAIM pool-state
+//!   transitions, HLO inline/clone/dead-routine decisions, and
+//!   selectivity choices.
+//! * A hand-rolled, versioned **JSON encoding** ([`json::JsonWriter`],
+//!   [`Telemetry::render_trace`]) — no serde, matching the repository's
+//!   deterministic-encoding policy. Schema versions are
+//!   [`REPORT_SCHEMA`] and [`TRACE_SCHEMA`].
+//!
+//! This crate sits below every other workspace crate (it has no
+//! dependencies); `cmo-naim`, `cmo-hlo`, `cmo-select`, `cmo-link`, and
+//! the `cmo` driver all thread a `Telemetry` handle through their
+//! hot paths. The aggregate `CompileReport` lives in the `cmo` crate,
+//! which can see every stats struct.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+pub mod json;
+
+use json::escape_into;
+
+/// Schema identifier written into every JSON compile report.
+pub const REPORT_SCHEMA: &str = "cmo.report.v1";
+
+/// Schema identifier written as the first line of every trace file.
+pub const TRACE_SCHEMA: &str = "cmo.trace.v1";
+
+/// One completed (or still open) phase of the compilation pipeline.
+///
+/// `name` is the full dotted path (`"hlo.inline"`), so consumers never
+/// need to reconstruct the hierarchy from nesting order; `depth` is
+/// retained for indented rendering.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseRecord {
+    /// Dotted phase path, e.g. `"hlo.inline"`.
+    pub name: String,
+    /// Nesting depth (0 = top-level phase).
+    pub depth: u32,
+    /// Work-unit clock reading when the phase started.
+    pub start_work: u64,
+    /// Work-unit clock reading when the phase ended.
+    pub end_work: u64,
+    /// Wall-clock duration in nanoseconds. Diagnostic only — NEVER
+    /// serialized to JSON, so reports and traces stay deterministic.
+    pub wall_nanos: u64,
+}
+
+impl PhaseRecord {
+    /// Work units spent inside this phase (including children).
+    #[must_use]
+    pub fn work(&self) -> u64 {
+        self.end_work.saturating_sub(self.start_work)
+    }
+}
+
+/// A typed trace event. Every variant carries only deterministic data
+/// (ids, names, counts) — no pointers, no wall time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A NAIM pool-state transition.
+    Pool {
+        /// What happened: `"expand"` (uncompaction), `"compact"`,
+        /// `"offload"` (write to repository), `"fetch"` (read back
+        /// from repository), or `"rescue"` (unload-pending pool
+        /// reclaimed from the cache at zero cost).
+        action: &'static str,
+        /// The pool's id within its loader.
+        pool: u32,
+        /// Pool kind: `"ir"` or `"symtab"`.
+        kind: &'static str,
+        /// Bytes processed by the transition.
+        bytes: u64,
+        /// Position in the unload-pending LRU at event time
+        /// (0 = least recently used; 0 also for pools not in the
+        /// cache).
+        lru_pos: u32,
+    },
+    /// An inlining decision, accepted or rejected.
+    Inline {
+        /// Caller routine name.
+        caller: String,
+        /// Callee routine name.
+        callee: String,
+        /// Call-site id within the caller.
+        site: u32,
+        /// Whether the site was inlined.
+        accepted: bool,
+        /// Why: accepted sites report the qualifying heuristic
+        /// (`"small"`, `"hot"`); rejected sites the disqualifier
+        /// (`"cold"`, `"too_large"`, `"not_dominant"`,
+        /// `"growth_cap"`, `"site_gone"`).
+        reason: &'static str,
+        /// Profile count of the site (0 when unprofiled).
+        count: u64,
+    },
+    /// A specialized clone was created for a hot constant-argument
+    /// callee.
+    CloneRoutine {
+        /// The original callee.
+        callee: String,
+        /// The new clone's name.
+        clone: String,
+        /// Profile count of the site that triggered the clone.
+        count: u64,
+    },
+    /// A routine was found unreachable after optimization and will be
+    /// stubbed at link time.
+    DeadRoutine {
+        /// The dead routine's name.
+        routine: String,
+    },
+    /// A ranked call site was kept or cut by coarse-grained
+    /// selectivity.
+    SelectSite {
+        /// Caller routine name.
+        caller: String,
+        /// Call-site id within the caller.
+        site: u32,
+        /// Rank in the frequency-sorted site list (0 = hottest).
+        rank: u32,
+        /// Profile count of the site.
+        count: u64,
+        /// Whether the site made the cut.
+        selected: bool,
+    },
+    /// A module was placed in or out of the CMO set by selectivity.
+    SelectModule {
+        /// Module name.
+        module: String,
+        /// Number of selected sites whose caller or callee lives in
+        /// this module.
+        sites: u32,
+        /// Whether the module will be compiled with CMO.
+        selected: bool,
+    },
+}
+
+impl TraceEvent {
+    /// Event-type tag used in the JSON encoding.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::Pool { .. } => "pool",
+            TraceEvent::Inline { .. } => "inline",
+            TraceEvent::CloneRoutine { .. } => "clone",
+            TraceEvent::DeadRoutine { .. } => "dead_routine",
+            TraceEvent::SelectSite { .. } => "select_site",
+            TraceEvent::SelectModule { .. } => "select_module",
+        }
+    }
+
+    /// Writes the event-specific JSON fields (no surrounding braces).
+    fn fields_into(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            TraceEvent::Pool {
+                action,
+                pool,
+                kind,
+                bytes,
+                lru_pos,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"action\":\"{action}\",\"pool\":{pool},\"kind\":\"{kind}\",\"bytes\":{bytes},\"lru_pos\":{lru_pos}"
+                );
+            }
+            TraceEvent::Inline {
+                caller,
+                callee,
+                site,
+                accepted,
+                reason,
+                count,
+            } => {
+                out.push_str("\"caller\":\"");
+                escape_into(caller, out);
+                out.push_str("\",\"callee\":\"");
+                escape_into(callee, out);
+                let _ = write!(
+                    out,
+                    "\",\"site\":{site},\"accepted\":{accepted},\"reason\":\"{reason}\",\"count\":{count}"
+                );
+            }
+            TraceEvent::CloneRoutine {
+                callee,
+                clone,
+                count,
+            } => {
+                out.push_str("\"callee\":\"");
+                escape_into(callee, out);
+                out.push_str("\",\"clone\":\"");
+                escape_into(clone, out);
+                let _ = write!(out, "\",\"count\":{count}");
+            }
+            TraceEvent::DeadRoutine { routine } => {
+                out.push_str("\"routine\":\"");
+                escape_into(routine, out);
+                out.push('"');
+            }
+            TraceEvent::SelectSite {
+                caller,
+                site,
+                rank,
+                count,
+                selected,
+            } => {
+                out.push_str("\"caller\":\"");
+                escape_into(caller, out);
+                let _ = write!(
+                    out,
+                    "\",\"site\":{site},\"rank\":{rank},\"count\":{count},\"selected\":{selected}"
+                );
+            }
+            TraceEvent::SelectModule {
+                module,
+                sites,
+                selected,
+            } => {
+                out.push_str("\"module\":\"");
+                escape_into(module, out);
+                let _ = write!(out, "\",\"sites\":{sites},\"selected\":{selected}");
+            }
+        }
+    }
+}
+
+/// One recorded event with its timestamp and phase context.
+#[derive(Debug, Clone)]
+struct Recorded {
+    work: u64,
+    phase: String,
+    event: TraceEvent,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    work: u64,
+    phases: Vec<PhaseRecord>,
+    /// Indices into `phases` of the currently open phases, innermost
+    /// last.
+    open: Vec<usize>,
+    events: Vec<Recorded>,
+}
+
+impl Inner {
+    fn phase_path(&self) -> String {
+        match self.open.last() {
+            Some(&idx) => self.phases[idx].name.clone(),
+            None => String::new(),
+        }
+    }
+}
+
+/// A cheaply cloneable handle to a shared telemetry sink.
+///
+/// The default handle is *disabled*: every method is a no-op, so
+/// instrumented code paths cost one branch when telemetry is off.
+/// Clones share the same sink, which is how one handle threads through
+/// the loader, HLO, selection, the linker, and the driver while the
+/// caller keeps a view of everything recorded.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Rc<RefCell<Inner>>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Telemetry(disabled)"),
+            Some(rc) => {
+                let inner = rc.borrow();
+                write!(
+                    f,
+                    "Telemetry(work={}, phases={}, events={})",
+                    inner.work,
+                    inner.phases.len(),
+                    inner.events.len()
+                )
+            }
+        }
+    }
+}
+
+impl Telemetry {
+    /// A disabled (no-op) handle; identical to `Telemetry::default()`.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle with an empty sink.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Telemetry {
+            inner: Some(Rc::new(RefCell::new(Inner::default()))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Advances the monotonic work-unit clock by `units`.
+    ///
+    /// Work units are the deterministic time base: simulated NAIM
+    /// traffic costs, per-routine analysis and lowering costs. They
+    /// accumulate across the whole compilation.
+    pub fn work(&self, units: u64) {
+        if let Some(rc) = &self.inner {
+            rc.borrow_mut().work += units;
+        }
+    }
+
+    /// Current reading of the work-unit clock.
+    #[must_use]
+    pub fn current_work(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |rc| rc.borrow().work)
+    }
+
+    /// Opens a phase; the returned guard closes it on drop.
+    ///
+    /// Phases nest: a phase opened while another is open becomes its
+    /// child, and its dotted path (`"hlo.inline"`) records the chain.
+    pub fn phase(&self, name: &str) -> PhaseGuard {
+        let idx = self.inner.as_ref().map(|rc| {
+            let mut inner = rc.borrow_mut();
+            let path = match inner.open.last() {
+                Some(&p) => format!("{}.{name}", inner.phases[p].name),
+                None => name.to_owned(),
+            };
+            let depth = inner.open.len() as u32;
+            let start_work = inner.work;
+            let idx = inner.phases.len();
+            inner.phases.push(PhaseRecord {
+                name: path,
+                depth,
+                start_work,
+                end_work: start_work,
+                wall_nanos: 0,
+            });
+            inner.open.push(idx);
+            idx
+        });
+        PhaseGuard {
+            telemetry: self.clone(),
+            idx,
+            started: Instant::now(),
+        }
+    }
+
+    /// Records a trace event, stamped with the current work-unit clock
+    /// and the open phase path.
+    pub fn emit(&self, event: TraceEvent) {
+        if let Some(rc) = &self.inner {
+            let mut inner = rc.borrow_mut();
+            let work = inner.work;
+            let phase = inner.phase_path();
+            inner.events.push(Recorded { work, phase, event });
+        }
+    }
+
+    /// All phases recorded so far, in open order. Open phases report
+    /// `end_work == start_work` until their guard drops.
+    #[must_use]
+    pub fn phases(&self) -> Vec<PhaseRecord> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |rc| rc.borrow().phases.clone())
+    }
+
+    /// Number of trace events recorded so far.
+    #[must_use]
+    pub fn n_events(&self) -> usize {
+        self.inner.as_ref().map_or(0, |rc| rc.borrow().events.len())
+    }
+
+    /// Renders the trace in the versioned JSON-lines encoding: a
+    /// `{"schema":"cmo.trace.v1"}` header line, then one object per
+    /// event with `work`, `phase`, `event`, and the event fields.
+    ///
+    /// Contains no wall-clock data: two identical compilations render
+    /// byte-identical traces.
+    #[must_use]
+    pub fn render_trace(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{{\"schema\":\"{TRACE_SCHEMA}\"}}");
+        if let Some(rc) = &self.inner {
+            for rec in &rc.borrow().events {
+                let _ = write!(out, "{{\"work\":{},\"phase\":\"", rec.work);
+                escape_into(&rec.phase, &mut out);
+                let _ = write!(out, "\",\"event\":\"{}\",", rec.event.tag());
+                rec.event.fields_into(&mut out);
+                out.push_str("}\n");
+            }
+        }
+        out
+    }
+}
+
+/// Closes a phase opened by [`Telemetry::phase`] when dropped.
+#[must_use = "dropping the guard immediately would close the phase at once"]
+pub struct PhaseGuard {
+    telemetry: Telemetry,
+    idx: Option<usize>,
+    started: Instant,
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if let (Some(rc), Some(idx)) = (&self.telemetry.inner, self.idx) {
+            let mut inner = rc.borrow_mut();
+            inner.open.retain(|&i| i != idx);
+            let work = inner.work;
+            let rec = &mut inner.phases[idx];
+            rec.end_work = work;
+            rec.wall_nanos = self.started.elapsed().as_nanos() as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_a_no_op() {
+        let t = Telemetry::disabled();
+        t.work(100);
+        t.emit(TraceEvent::DeadRoutine {
+            routine: "x".into(),
+        });
+        let _p = t.phase("parse");
+        assert!(!t.is_enabled());
+        assert_eq!(t.current_work(), 0);
+        assert_eq!(t.n_events(), 0);
+        assert!(t.phases().is_empty());
+        assert_eq!(t.render_trace(), "{\"schema\":\"cmo.trace.v1\"}\n");
+    }
+
+    #[test]
+    fn phases_nest_and_record_work_spans() {
+        let t = Telemetry::enabled();
+        {
+            let _outer = t.phase("hlo");
+            t.work(5);
+            {
+                let _inner = t.phase("inline");
+                t.work(7);
+            }
+            t.work(1);
+        }
+        let phases = t.phases();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].name, "hlo");
+        assert_eq!(phases[0].depth, 0);
+        assert_eq!(phases[0].work(), 13);
+        assert_eq!(phases[1].name, "hlo.inline");
+        assert_eq!(phases[1].depth, 1);
+        assert_eq!(phases[1].start_work, 5);
+        assert_eq!(phases[1].end_work, 12);
+    }
+
+    #[test]
+    fn events_are_stamped_with_work_and_phase() {
+        let t = Telemetry::enabled();
+        let _p = t.phase("naim");
+        t.work(42);
+        t.emit(TraceEvent::Pool {
+            action: "compact",
+            pool: 3,
+            kind: "ir",
+            bytes: 256,
+            lru_pos: 0,
+        });
+        let trace = t.render_trace();
+        let mut lines = trace.lines();
+        assert_eq!(lines.next(), Some("{\"schema\":\"cmo.trace.v1\"}"));
+        let ev = lines.next().unwrap();
+        assert!(ev.contains("\"work\":42"));
+        assert!(ev.contains("\"phase\":\"naim\""));
+        assert!(ev.contains("\"event\":\"pool\""));
+        assert!(ev.contains("\"action\":\"compact\""));
+        assert!(ev.contains("\"lru_pos\":0"));
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let t = Telemetry::enabled();
+        let u = t.clone();
+        u.work(9);
+        u.emit(TraceEvent::DeadRoutine {
+            routine: "gone".into(),
+        });
+        assert_eq!(t.current_work(), 9);
+        assert_eq!(t.n_events(), 1);
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_wall_free() {
+        let run = || {
+            let t = Telemetry::enabled();
+            let _p = t.phase("hlo");
+            t.work(3);
+            t.emit(TraceEvent::Inline {
+                caller: "main".into(),
+                callee: "f\"q\"".into(),
+                site: 1,
+                accepted: true,
+                reason: "small",
+                count: 10,
+            });
+            t.render_trace()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.contains("f\\\"q\\\""), "names are JSON-escaped: {a}");
+        assert!(!a.contains("nanos"), "no wall time in traces");
+    }
+}

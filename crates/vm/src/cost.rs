@@ -121,9 +121,7 @@ impl CostModel {
             | MInstr::StGlobalElem { .. }
             | MInstr::LdSlotElem { .. }
             | MInstr::StSlotElem { .. } => self.elem,
-            MInstr::Call { args, .. } => {
-                self.call_overhead + self.call_per_arg * args.len() as u64
-            }
+            MInstr::Call { args, .. } => self.call_overhead + self.call_per_arg * args.len() as u64,
             MInstr::Ret { .. } => self.ret,
             MInstr::Jmp { .. } | MInstr::Br { .. } => self.alu,
             MInstr::Probe { .. } => self.probe,

@@ -98,7 +98,11 @@ pub fn disassemble_routine(image: &MachineImage, name: &str) -> Option<String> {
     let mut out = String::new();
     let _ = writeln!(out, "{}:", r.name);
     for addr in r.entry..r.entry + r.code_len {
-        let _ = writeln!(out, "  {addr:#06x}  {}", one(&image.code[addr as usize], image));
+        let _ = writeln!(
+            out,
+            "  {addr:#06x}  {}",
+            one(&image.code[addr as usize], image)
+        );
     }
     Some(out)
 }

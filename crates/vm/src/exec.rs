@@ -208,7 +208,11 @@ fn wrap_index(index: u64, len: u32) -> u64 {
 ///
 /// Returns an [`ExecError`] for resource exhaustion or malformed
 /// images; a *correct* compilation never produces the latter.
-pub fn run(image: &MachineImage, input: &[i64], config: &RunConfig) -> Result<ExecResult, ExecError> {
+pub fn run(
+    image: &MachineImage,
+    input: &[i64],
+    config: &RunConfig,
+) -> Result<ExecResult, ExecError> {
     let entry = image
         .routines
         .get(image.entry_routine as usize)
@@ -648,10 +652,7 @@ mod tests {
 
     #[test]
     fn probes_count_and_cost() {
-        let code = vec![
-            MInstr::Probe { id: 0 },
-            MInstr::Ret { value: None },
-        ];
+        let code = vec![MInstr::Probe { id: 0 }, MInstr::Ret { value: None }];
         let mut image = single(code, 0);
         image.probes = vec![cmo_profile::ProbeKey::block("main", 0)];
         image.shapes = vec![(
@@ -719,8 +720,7 @@ mod tests {
         // Two routines far apart that ping-pong: conflict misses if
         // they map to the same lines.
         let cfg = RunConfig::default();
-        let lines_span =
-            (cfg.cost.icache.size_instrs) as usize; // one full cache apart
+        let lines_span = (cfg.cost.icache.size_instrs) as usize; // one full cache apart
         let mut code = vec![
             MInstr::LdImm {
                 dst: Reg(0),

@@ -42,9 +42,7 @@ fn main() -> Result<(), cmo::BuildError> {
         .build(&BuildOptions::instrumented())?
         .run_for_profile(&workload)?;
 
-    let v1 = project.build(
-        &BuildOptions::new(OptLevel::O4).with_profile_db(db.clone()),
-    )?;
+    let v1 = project.build(&BuildOptions::new(OptLevel::O4).with_profile_db(db.clone()))?;
     let r1 = v1.run(&workload)?;
     println!("v1: {} cycles, returned {}", r1.cycles, r1.returned);
 

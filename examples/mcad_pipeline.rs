@@ -66,7 +66,10 @@ fn main() -> Result<(), cmo::BuildError> {
     let baseline = cc.build(&BuildOptions::o2())?;
     let rb = baseline.run(&app.ref_input)?;
     let rs = ship.run(&app.ref_input)?;
-    assert_eq!(rb.checksum, rs.checksum, "shipping build must behave identically");
+    assert_eq!(
+        rb.checksum, rs.checksum,
+        "shipping build must behave identically"
+    );
     println!(
         "reference run: +O2 {} cycles, ship {} cycles — {:.2}x",
         rb.cycles,

@@ -87,8 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let stats = loader.stats();
-    println!("\nledger: {} compactions, {} re-expansions, {} offload writes,",
-        stats.compactions, stats.uncompactions, stats.offload_writes);
+    println!(
+        "\nledger: {} compactions, {} re-expansions, {} offload writes,",
+        stats.compactions, stats.uncompactions, stats.offload_writes
+    );
     println!(
         "        {} bytes swizzled, {} bytes to/from disk, {} work units",
         stats.bytes_swizzled, stats.bytes_offloaded, stats.work_units

@@ -74,9 +74,18 @@ fn main() -> Result<(), cmo::BuildError> {
     // Step 4: compare.
     let r2 = o2.run(&workload)?;
     let rb = best.run(&workload)?;
-    assert_eq!(r2.checksum, rb.checksum, "optimization must preserve results");
-    println!("+O2     : {:>12} cycles ({} calls executed)", r2.cycles, r2.calls);
-    println!("+O4 +P  : {:>12} cycles ({} calls executed)", rb.cycles, rb.calls);
+    assert_eq!(
+        r2.checksum, rb.checksum,
+        "optimization must preserve results"
+    );
+    println!(
+        "+O2     : {:>12} cycles ({} calls executed)",
+        r2.cycles, r2.calls
+    );
+    println!(
+        "+O4 +P  : {:>12} cycles ({} calls executed)",
+        rb.cycles, rb.calls
+    );
     println!(
         "speedup : {:.2}x (the paper reports up to 1.71x on 5 MLoC apps)",
         r2.cycles as f64 / rb.cycles as f64

@@ -57,8 +57,7 @@ fn unselective_cmo_exhausts_a_hard_heap_limit() {
     let app = generate(&mcad_preset("mcad1", 0.2));
     let cc = compiler_for(&app).unwrap();
     let result = cc.build(
-        &BuildOptions::new(OptLevel::O4)
-            .with_naim(NaimConfig::disabled().hard_limit(200 << 10)),
+        &BuildOptions::new(OptLevel::O4).with_naim(NaimConfig::disabled().hard_limit(200 << 10)),
     );
     assert!(
         matches!(result, Err(cmo::BuildError::Naim(_))),
@@ -119,7 +118,10 @@ fn stale_profiles_still_build_and_run_correctly() {
     let plain = cc_v2.build(&BuildOptions::o2()).unwrap();
     let rs = stale.run(&app_v2.ref_input).unwrap();
     let rp = plain.run(&app_v2.ref_input).unwrap();
-    assert_eq!(rs.checksum, rp.checksum, "stale profiles must never miscompile");
+    assert_eq!(
+        rs.checksum, rp.checksum,
+        "stale profiles must never miscompile"
+    );
 }
 
 #[test]

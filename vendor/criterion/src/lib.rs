@@ -1,0 +1,213 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API used by
+//! this workspace (the container has no network access to crates.io).
+//!
+//! Supports [`Criterion`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`BatchSize`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Each benchmark runs a small fixed number of timed
+//! iterations and prints mean wall time per iteration — enough to
+//! compile and smoke-run `cargo bench`, without criterion's
+//! statistics, sampling, or HTML reports.
+
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box`, criterion's public name for it.
+pub use std::hint::black_box;
+
+/// How per-iteration setup data is batched in
+/// [`Bencher::iter_batched`]. The stand-in runs one setup per timed
+/// iteration regardless of variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    iters: u32,
+    total_nanos: u128,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    fn new(iters: u32) -> Self {
+        Bencher {
+            iters,
+            total_nanos: 0,
+            timed_iters: 0,
+        }
+    }
+
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.total_nanos += start.elapsed().as_nanos();
+            self.timed_iters += 1;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total_nanos += start.elapsed().as_nanos();
+            self.timed_iters += 1;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.timed_iters > 0 {
+            let mean = self.total_nanos / u128::from(self.timed_iters);
+            println!(
+                "bench {name:<40} {mean:>12} ns/iter ({} iters)",
+                self.timed_iters
+            );
+        } else {
+            println!("bench {name:<40} (no iterations run)");
+        }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: u32,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many iterations each benchmark in the group runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u32;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Finishes the group (no-op; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point matching `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: u32,
+}
+
+impl Criterion {
+    fn effective_samples(&self) -> u32 {
+        if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        }
+    }
+
+    /// Sets the default iteration count for subsequent benchmarks.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u32;
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.effective_samples();
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.effective_samples());
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Finalizes the run (no-op; present for API compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a benchmark group runner, as in criterion 0.5.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u32;
+        group.sample_size(4).bench_function("count", |b| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_uses_setup_values() {
+        let mut c = Criterion::default();
+        let mut total = 0u64;
+        c.bench_function("sum", |b| {
+            b.iter_batched(|| 2u64, |v| total += v, BatchSize::LargeInput);
+        });
+        assert_eq!(total, 20); // default 10 samples * 2
+    }
+}

@@ -12,7 +12,7 @@
 //! Run with `cargo run --release -p cmo-bench --bin fig4_memory_scaling`.
 
 use cmo::{BuildOptions, NaimConfig, OptLevel};
-use cmo_bench::{compiler_for, measure, train, write_csv};
+use cmo_bench::{compiler_for, measure, measure_at_jobs, train, write_csv};
 use cmo_synth::{generate, mcad_preset};
 
 /// Fixed optimizer memory budget: the "physical memory of the build
@@ -23,8 +23,8 @@ const BUDGET: usize = 3 << 20;
 fn main() {
     println!("Figure 4: optimizer memory vs lines of code compiled with CMO");
     println!(
-        "{:>8} {:>12} {:>12} {:>12} {:>10} {:>12}",
-        "lines", "HLO peak", "naim-off", "overall", "B/line", "offloads"
+        "{:>8} {:>12} {:>12} {:>12} {:>10} {:>12} {:>10} {:>10}",
+        "lines", "HLO peak", "naim-off", "overall", "B/line", "offloads", "ms (-j1)", "ms (-j4)"
     );
     let mut rows = Vec::new();
     for scale in [0.125, 0.25, 0.375, 0.5, 0.675, 0.825, 1.0] {
@@ -35,7 +35,11 @@ fn main() {
             .with_profile_db(db.clone())
             .with_selectivity(20.0)
             .with_naim(NaimConfig::with_budget(BUDGET));
-        let with_naim = measure(&cc, &app, &opts).expect("naim build");
+        // Wall-clock at one and at four workers; the sweep asserts the
+        // report (and so every memory column) is identical across -j.
+        let sweep = measure_at_jobs(&cc, &app, &opts, &[1, 4]).expect("naim build");
+        let (ms_j1, ms_j4) = (sweep[0].1.compile_ms, sweep[1].1.compile_ms);
+        let with_naim = &sweep[0].1;
         let off = BuildOptions::new(OptLevel::O4)
             .with_profile_db(db)
             .with_selectivity(20.0)
@@ -47,22 +51,26 @@ fn main() {
         let overall = hlo_peak + with_naim.report.llo_peak_bytes;
         let per_line = hlo_peak as f64 / app.total_lines as f64;
         println!(
-            "{:>8} {:>12} {:>12} {:>12} {:>10.1} {:>12}",
+            "{:>8} {:>12} {:>12} {:>12} {:>10.1} {:>12} {:>10.1} {:>10.1}",
             app.total_lines,
             hlo_peak,
             hlo_off,
             overall,
             per_line,
             with_naim.report.loader.offload_writes,
+            ms_j1,
+            ms_j4,
         );
         rows.push(format!(
-            "{},{},{},{},{:.2},{}",
+            "{},{},{},{},{:.2},{},{:.2},{:.2}",
             app.total_lines,
             hlo_peak,
             hlo_off,
             overall,
             per_line,
-            with_naim.report.loader.offload_writes
+            with_naim.report.loader.offload_writes,
+            ms_j1,
+            ms_j4
         ));
         assert_eq!(
             with_naim.checksum, without.checksum,
@@ -71,7 +79,7 @@ fn main() {
     }
     write_csv(
         "fig4_memory_scaling.csv",
-        "lines,hlo_peak_bytes,naim_off_peak_bytes,overall_bytes,bytes_per_line,offload_writes",
+        "lines,hlo_peak_bytes,naim_off_peak_bytes,overall_bytes,bytes_per_line,offload_writes,build_ms_j1,build_ms_j4",
         &rows,
     );
     println!();

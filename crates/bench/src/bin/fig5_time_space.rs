@@ -10,7 +10,7 @@
 //! Run with `cargo run --release -p cmo-bench --bin fig5_time_space`.
 
 use cmo::{BuildOptions, NaimConfig, NaimLevel, OptLevel};
-use cmo_bench::{compiler_for, measure, train, write_csv};
+use cmo_bench::{compiler_for, measure_at_jobs, train, write_csv};
 use cmo_synth::{generate, spec_preset};
 
 fn main() {
@@ -44,8 +44,15 @@ fn main() {
         app.total_lines
     );
     println!(
-        "{:<14} {:>12} {:>10} {:>12} {:>10} {:>10} {:>9}",
-        "config", "peak bytes", "build ms", "work units", "compacts", "expands", "offloads"
+        "{:<14} {:>12} {:>11} {:>11} {:>12} {:>10} {:>10} {:>9}",
+        "config",
+        "peak bytes",
+        "ms (-j1)",
+        "ms (-j4)",
+        "work units",
+        "compacts",
+        "expands",
+        "offloads"
     );
     let mut rows = Vec::new();
     let mut checksum = None;
@@ -54,23 +61,30 @@ fn main() {
             .with_profile_db(db.clone())
             .with_selectivity(100.0)
             .with_naim(naim);
-        let m = measure(&cc, &app, &opts).expect("build");
+        // Each configuration builds at one and at four workers; the
+        // sweep asserts the report and checksum are identical, so the
+        // table's two ms columns are the only thing -j may change.
+        let sweep = measure_at_jobs(&cc, &app, &opts, &[1, 4]).expect("build");
+        let (ms_j1, ms_j4) = (sweep[0].1.compile_ms, sweep[1].1.compile_ms);
+        let m = &sweep[0].1;
         let report = &m.report;
         println!(
-            "{:<14} {:>12} {:>10.1} {:>12} {:>10} {:>10} {:>9}",
+            "{:<14} {:>12} {:>11.1} {:>11.1} {:>12} {:>10} {:>10} {:>9}",
             name,
             report.peak_bytes(),
-            m.compile_ms,
+            ms_j1,
+            ms_j4,
             report.loader.work_units,
             report.loader.compactions,
             report.loader.uncompactions,
             report.loader.offload_writes,
         );
         rows.push(format!(
-            "{},{},{:.2},{},{},{},{}",
+            "{},{},{:.2},{:.2},{},{},{},{}",
             name,
             report.peak_bytes(),
-            m.compile_ms,
+            ms_j1,
+            ms_j4,
             report.loader.work_units,
             report.loader.compactions,
             report.loader.uncompactions,
@@ -83,7 +97,7 @@ fn main() {
     }
     write_csv(
         "fig5_time_space.csv",
-        "config,peak_bytes,build_ms,work_units,compactions,uncompactions,offload_writes",
+        "config,peak_bytes,build_ms_j1,build_ms_j4,work_units,compactions,uncompactions,offload_writes",
         &rows,
     );
     println!();

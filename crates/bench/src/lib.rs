@@ -80,6 +80,47 @@ pub fn measure(
     })
 }
 
+/// Builds the same configuration at several `-j` worker counts and
+/// returns `(jobs, Measured)` rows for wall-clock comparison.
+///
+/// Every parallel build must reproduce the single-worker build
+/// exactly — same output checksum, same unified report — so the only
+/// thing allowed to vary down the rows is wall-clock time. (On a
+/// single-core runner the times will simply be similar; no speedup is
+/// asserted.)
+///
+/// # Errors
+///
+/// Propagates build or run failures.
+///
+/// # Panics
+///
+/// Panics if a worker count changes the checksum or the report.
+pub fn measure_at_jobs(
+    cc: &Compiler,
+    app: &SynthApp,
+    options: &BuildOptions,
+    jobs: &[usize],
+) -> Result<Vec<(usize, Measured)>, BuildError> {
+    let mut rows: Vec<(usize, Measured)> = Vec::with_capacity(jobs.len());
+    for &j in jobs {
+        let m = measure(cc, app, &options.clone().with_jobs(j))?;
+        if let Some((j0, first)) = rows.first() {
+            assert_eq!(
+                first.checksum, m.checksum,
+                "-j{j} changed the output vs -j{j0}"
+            );
+            assert_eq!(
+                first.report.to_json(),
+                m.report.to_json(),
+                "-j{j} changed the report vs -j{j0}"
+            );
+        }
+        rows.push((j, m));
+    }
+    Ok(rows)
+}
+
 /// The five standard configurations of Figure 1.
 ///
 /// # Errors

@@ -10,6 +10,9 @@
 //!   +I                 instrument for profiling
 //!   --sel <percent>    call-site selectivity at +O4
 //!   --budget <MiB>     NAIM optimizer memory budget
+//!   -j, --jobs <N>     worker threads for front-end and LLO fan-out
+//!                      (output is byte-identical at every N)
+//!   --shards <N>       NAIM loader shard count (independent of -j)
 //!   --run <v1,v2,...>  execute main with the given input stream
 //!   --profile-out <f>  after --run of an instrumented build, write
 //!                      the profile database to <f>
@@ -35,7 +38,9 @@ struct Cli {
     profile: Option<PathBuf>,
     instrument: bool,
     selectivity: Option<f64>,
-    budget_mib: Option<usize>,
+    budget_bytes: Option<usize>,
+    jobs: usize,
+    shards: Option<usize>,
     run: Option<Vec<i64>>,
     profile_out: Option<PathBuf>,
     emit_asm: bool,
@@ -46,9 +51,43 @@ struct Cli {
 
 fn usage() -> String {
     "usage: cmocc [-c] [+O1|+O2|+O4] [+P <db>] [+I] [--sel <pct>] [--budget <MiB>] \
-     [--run <v1,v2,..>] [--profile-out <f>] [--emit-asm] [--report] \
+     [-j <N>] [--shards <N>] [--run <v1,v2,..>] [--profile-out <f>] [--emit-asm] [--report] \
      [--report-json <f>] [--trace <f>] <files...>"
         .to_owned()
+}
+
+/// Checks the mutual-exclusion and dependency rules between flags.
+/// Every violation is a diagnostic plus exit code 2 — never a panic or
+/// a silently ignored option.
+fn validate(cli: &Cli) -> Result<(), String> {
+    if cli.compile_only {
+        let conflicts: &[(&str, bool)] = &[
+            ("--run", cli.run.is_some()),
+            ("--profile-out", cli.profile_out.is_some()),
+            ("--emit-asm", cli.emit_asm),
+            ("--report", cli.report),
+            ("--report-json", cli.report_json.is_some()),
+            ("--trace", cli.trace.is_some()),
+        ];
+        for (flag, given) in conflicts {
+            if *given {
+                return Err(format!(
+                    "{flag} conflicts with -c: compile-only builds produce no linked image"
+                ));
+            }
+        }
+    }
+    if cli.profile_out.is_some() && cli.run.is_none() {
+        return Err("--profile-out requires --run (profiles come from executing main)".to_owned());
+    }
+    if let Some(sel) = cli.selectivity {
+        if !sel.is_finite() || !(0.0..=100.0).contains(&sel) {
+            return Err(format!(
+                "bad --sel value: {sel} (expected a percentage in [0, 100])"
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -59,7 +98,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         profile: None,
         instrument: false,
         selectivity: None,
-        budget_mib: None,
+        budget_bytes: None,
+        jobs: 1,
+        shards: None,
         run: None,
         profile_out: None,
         emit_asm: false,
@@ -89,11 +130,34 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 );
             }
             "--budget" => {
-                cli.budget_mib = Some(
-                    next("a size in MiB")?
-                        .parse()
-                        .map_err(|e| format!("bad --budget value: {e}"))?,
+                let mib: usize = next("a size in MiB")?
+                    .parse()
+                    .map_err(|e| format!("bad --budget value: {e}"))?;
+                // A checked conversion: 2^44 MiB would overflow the
+                // byte count and (pre-fix) panic in debug builds or
+                // silently wrap in release builds.
+                cli.budget_bytes = Some(
+                    mib.checked_mul(1 << 20)
+                        .ok_or_else(|| format!("bad --budget value: {mib} MiB overflows"))?,
                 );
+            }
+            "-j" | "--jobs" => {
+                let n: usize = next("a worker count")?
+                    .parse()
+                    .map_err(|e| format!("bad {a} value: {e}"))?;
+                if n == 0 {
+                    return Err(format!("bad {a} value: 0 (need at least one worker)"));
+                }
+                cli.jobs = n;
+            }
+            "--shards" => {
+                let n: usize = next("a shard count")?
+                    .parse()
+                    .map_err(|e| format!("bad --shards value: {e}"))?;
+                if n == 0 {
+                    return Err("bad --shards value: 0 (need at least one shard)".to_owned());
+                }
+                cli.shards = Some(n);
             }
             "--run" => {
                 let spec = next("a comma-separated input list (or '-' for empty)")?;
@@ -113,6 +177,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--report-json" => cli.report_json = Some(PathBuf::from(next("a path")?)),
             "--trace" => cli.trace = Some(PathBuf::from(next("a path")?)),
             "-h" | "--help" => return Err(usage()),
+            jn if jn.strip_prefix("-j").is_some_and(|n| !n.is_empty()) => {
+                let n: usize = jn[2..].parse().map_err(|e| format!("bad -j value: {e}"))?;
+                if n == 0 {
+                    return Err("bad -j value: 0 (need at least one worker)".to_owned());
+                }
+                cli.jobs = n;
+            }
             other if other.starts_with('-') || other.starts_with('+') => {
                 return Err(format!("unknown option `{other}`\n{}", usage()));
             }
@@ -122,6 +193,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if cli.inputs.is_empty() {
         return Err(format!("no input files\n{}", usage()));
     }
+    validate(&cli)?;
     Ok(cli)
 }
 
@@ -130,29 +202,45 @@ fn module_name(path: &Path) -> String {
         .map_or_else(|| "module".to_owned(), |s| s.to_string_lossy().into_owned())
 }
 
+/// Reads, and if necessary compiles, one input file. Returns the IL
+/// object plus the `.cmo` path written in `-c` mode (reported by the
+/// caller in input order, so the output is stable at any `-j`).
+fn load_one(path: &Path, compile_only: bool) -> Result<(IlObject, Option<PathBuf>), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if IlObject::is_il_object(&bytes) {
+        let obj = IlObject::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+        return Ok((obj, None));
+    }
+    let source = String::from_utf8(bytes).map_err(|_| {
+        format!(
+            "{} is neither an IL object nor UTF-8 source",
+            path.display()
+        )
+    })?;
+    let obj = cmo::compile_module(&module_name(path), &source)
+        .map_err(|e| format!("{}:{e}", path.display()))?;
+    let mut written = None;
+    if compile_only {
+        let out = path.with_extension("cmo");
+        std::fs::write(&out, obj.to_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        written = Some(out);
+    }
+    Ok((obj, written))
+}
+
+/// Loads every input, fanning front-end compilation out over the `-j`
+/// worker pool. Results merge in input order: with several bad inputs
+/// the diagnostic is always the first by position, and `-c` progress
+/// lines print in input order, independent of scheduling.
 fn load_objects(cli: &Cli) -> Result<Vec<IlObject>, String> {
-    let mut objects = Vec::new();
-    for path in &cli.inputs {
-        let bytes =
-            std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        if IlObject::is_il_object(&bytes) {
-            objects.push(
-                IlObject::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))?,
-            );
-            continue;
-        }
-        let source = String::from_utf8(bytes).map_err(|_| {
-            format!(
-                "{} is neither an IL object nor UTF-8 source",
-                path.display()
-            )
-        })?;
-        let obj = cmo::compile_module(&module_name(path), &source)
-            .map_err(|e| format!("{}:{e}", path.display()))?;
-        if cli.compile_only {
-            let out = path.with_extension("cmo");
-            std::fs::write(&out, obj.to_bytes())
-                .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    let results = cmo::run_jobs(cli.inputs.len(), cli.jobs, |_, i| {
+        load_one(&cli.inputs[i], cli.compile_only)
+    });
+    let mut objects = Vec::with_capacity(results.len());
+    for result in results {
+        let (obj, written) = result?;
+        if let Some(out) = written {
             println!("wrote {}", out.display());
         }
         objects.push(obj);
@@ -173,7 +261,7 @@ fn run_cli(cli: &Cli) -> Result<(), String> {
     if cli.compile_only {
         return Ok(());
     }
-    let mut options = BuildOptions::new(cli.level);
+    let mut options = BuildOptions::new(cli.level).with_jobs(cli.jobs);
     options.telemetry = tel.clone();
     options.instrument = cli.instrument;
     if let Some(path) = &cli.profile {
@@ -186,8 +274,11 @@ fn run_cli(cli: &Cli) -> Result<(), String> {
     if let Some(sel) = cli.selectivity {
         options = options.with_selectivity(sel);
     }
-    if let Some(mib) = cli.budget_mib {
-        options = options.with_naim(NaimConfig::with_budget(mib << 20));
+    if let Some(bytes) = cli.budget_bytes {
+        options = options.with_naim(NaimConfig::with_budget(bytes));
+    }
+    if let Some(shards) = cli.shards {
+        options.naim = options.naim.clone().shards(shards);
     }
 
     let out = build_objects(objects, &options).map_err(|e| match e {

@@ -1,6 +1,7 @@
 //! The compilation driver: HP-UX-style option levels over the full
 //! pipeline.
 
+use crate::parallel::run_jobs;
 use cmo_frontend::FrontendError;
 use cmo_hlo::{
     fold_globals, inline_pass, CallGraph, GlobalFacts, HloSession, HloStats, InlineOptions,
@@ -12,7 +13,7 @@ use cmo_llo::{
 };
 use cmo_naim::{LoaderStats, MemorySnapshot, NaimConfig, NaimError};
 use cmo_profile::{Freshness, ProfileDb};
-use cmo_select::{coarse_select_traced, layered_levels, OptLayer};
+use cmo_select::{coarse_select_traced, layered_levels, OptLayer, SelectError};
 use cmo_telemetry::{PhaseRecord, Telemetry, TraceEvent};
 use cmo_vm::{profile_from_run, run, ExecResult, MachineImage, RunConfig};
 use std::collections::BTreeSet;
@@ -41,6 +42,8 @@ pub enum BuildError {
     /// The optimizer ran out of memory or the repository failed — the
     /// paper's 1 GB-heap compile failures surface here.
     Naim(NaimError),
+    /// The selectivity request was invalid (e.g. a NaN percentage).
+    Select(SelectError),
     /// The program defines no `main`.
     NoMain,
     /// `run_for_profile` was called on an uninstrumented image.
@@ -55,6 +58,7 @@ impl fmt::Display for BuildError {
             BuildError::Frontend(e) => write!(f, "frontend error: {e}"),
             BuildError::Link(e) => write!(f, "link error: {e}"),
             BuildError::Naim(e) => write!(f, "optimizer resource failure: {e}"),
+            BuildError::Select(e) => write!(f, "selectivity error: {e}"),
             BuildError::NoMain => f.write_str("program defines no `main` routine"),
             BuildError::NotInstrumented => {
                 f.write_str("image carries no probes; build with instrumentation (+I)")
@@ -70,6 +74,7 @@ impl Error for BuildError {
             BuildError::Frontend(e) => Some(e),
             BuildError::Link(e) => Some(e),
             BuildError::Naim(e) => Some(e),
+            BuildError::Select(e) => Some(e),
             BuildError::Exec(e) => Some(e),
             _ => None,
         }
@@ -91,6 +96,12 @@ impl From<LinkError> for BuildError {
 impl From<NaimError> for BuildError {
     fn from(e: NaimError) -> Self {
         BuildError::Naim(e)
+    }
+}
+
+impl From<SelectError> for BuildError {
+    fn from(e: SelectError) -> Self {
+        BuildError::Select(e)
     }
 }
 
@@ -116,6 +127,12 @@ pub struct BuildOptions {
     /// Enable the §8 multi-layered strategy: cold routines drop to
     /// `+O1` treatment.
     pub layered: bool,
+    /// Worker threads for the parallel pipeline sections (front-end
+    /// lowering and per-routine LLO; `cmocc -j N`). 1 (the default)
+    /// runs everything inline on the calling thread. Output is
+    /// byte-identical at every job count: results are keyed by module
+    /// or routine index and merged in index order.
+    pub jobs: usize,
     /// Telemetry sink threaded through the whole pipeline (loader,
     /// HLO, selection, final link). Disabled (no-op) by default;
     /// enable it to collect phase timers and trace events for the
@@ -136,6 +153,7 @@ impl BuildOptions {
             naim: NaimConfig::default(),
             inline: InlineOptions::default(),
             layered: false,
+            jobs: 1,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -188,6 +206,14 @@ impl BuildOptions {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Sets the worker-thread count for the parallel pipeline sections.
+    /// Values below 1 are clamped to 1 (fully inline).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
         self
     }
 }
@@ -287,6 +313,30 @@ impl Compiler {
     pub fn add_source(&mut self, module: &str, source: &str) -> Result<(), BuildError> {
         let obj = cmo_frontend::compile_module(module, source)?;
         self.objects.push(obj);
+        Ok(())
+    }
+
+    /// Compiles a batch of MLC source modules, fanning front-end
+    /// lowering out over `jobs` worker threads, and adds their IL
+    /// objects in batch order. Modules are independent compilation
+    /// units, so this parallelizes trivially; with multiple failures
+    /// the reported error is the first by batch position, independent
+    /// of scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Returns frontend diagnostics.
+    pub fn add_sources(
+        &mut self,
+        modules: &[(String, String)],
+        jobs: usize,
+    ) -> Result<(), BuildError> {
+        let objects = run_jobs(modules.len(), jobs.max(1), |_, i| {
+            cmo_frontend::compile_module(&modules[i].0, &modules[i].1)
+        });
+        for obj in objects {
+            self.objects.push(obj?);
+        }
         Ok(())
     }
 
@@ -398,7 +448,7 @@ pub fn build_objects(
                         db,
                         pct,
                         &tel,
-                    ))
+                    )?)
                 }
                 _ => None,
             };
@@ -550,13 +600,21 @@ pub fn build_objects(
     };
     let dead_set: BTreeSet<usize> = dead.iter().map(|r| r.index()).collect();
     let llo_phase = tel.phase("llo");
-    let mut lowered: Vec<LoweredRoutine> = Vec::with_capacity(bodies.len());
-    for (i, body) in bodies.iter().enumerate() {
+    // Per-routine LLO is the pipeline's embarrassingly-parallel stage
+    // (the LTRANS-style fan-out): each routine lowers independently
+    // against shared read-only program state. Jobs are keyed by routine
+    // index and merged in index order below, so the lowered code — and
+    // every downstream byte — is identical at any `-j`. Workers tag
+    // their telemetry handle with a worker id and advance only the
+    // work clock (commutative adds); no events are emitted here, which
+    // is what keeps traces byte-identical across job counts.
+    let lowered: Vec<LoweredRoutine> = run_jobs(bodies.len(), options.jobs.max(1), |worker, i| {
+        let body = &bodies[i];
         let rid = RoutineId::from_index(i);
         let name = program.name(program.routine(rid).name).to_owned();
         if dead_set.contains(&i) {
             // Dead routine elimination: skip all LLO work, emit a stub.
-            lowered.push(LoweredRoutine {
+            return LoweredRoutine {
                 name,
                 code: vec![cmo_vm::MInstr::Ret { value: None }],
                 frame_slots: 0,
@@ -564,8 +622,7 @@ pub fn build_objects(
                 shape: shape_of(body),
                 llo_work_bytes: 0,
                 il_after_opt: 0,
-            });
-            continue;
+            };
         }
         let block_counts = if options.pbo {
             match &maintained_counts[i] {
@@ -585,11 +642,15 @@ pub fn build_objects(
             block_counts,
         };
         let lr = lower_routine(rid, body, &program, &layout, &llo_opts);
+        tel.for_worker(worker)
+            .work(u64::from(lr.il_after_opt) * 3 + (lr.llo_work_bytes as u64) / 256);
+        lr
+    });
+    // Stable merge: fold per-routine results into the report in routine
+    // order, regardless of which worker produced them.
+    for lr in &lowered {
         report.llo_peak_bytes = report.llo_peak_bytes.max(lr.llo_work_bytes);
-        let work = u64::from(lr.il_after_opt) * 3 + (lr.llo_work_bytes as u64) / 256;
-        tel.work(work);
-        report.compile_work += work;
-        lowered.push(lr);
+        report.compile_work += u64::from(lr.il_after_opt) * 3 + (lr.llo_work_bytes as u64) / 256;
     }
     drop(llo_phase);
 

@@ -51,6 +51,7 @@
 
 mod driver;
 mod isolate;
+mod parallel;
 mod project;
 mod report;
 
@@ -58,6 +59,7 @@ pub use driver::{
     build_objects, BuildError, BuildOptions, BuildOutput, BuildReport, Compiler, OptLevel,
 };
 pub use isolate::{isolate_faulty_op, IsolationReport};
+pub use parallel::{default_jobs, run_jobs};
 pub use project::Project;
 pub use report::CompileReport;
 

@@ -1,0 +1,118 @@
+//! A fixed-size worker pool with deterministic result merging.
+//!
+//! The driver's parallel sections (front-end lowering, per-routine LLO)
+//! all follow one shape: `n` independent jobs, each producing a result
+//! keyed by its index, merged back in index order. [`run_jobs`] is that
+//! shape: workers pull job indices from a shared queue (an atomic
+//! cursor), write results into index-keyed slots, and the caller gets a
+//! `Vec` in job order — so the *output* is independent of which worker
+//! ran which job, and byte-identical across `-j` levels.
+//!
+//! With `workers <= 1` (or a single job) everything runs inline on the
+//! calling thread through the same code path, which is what makes
+//! `-j1` structurally identical to the parallel runs rather than a
+//! separate sequential implementation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Runs `n_jobs` jobs over `workers` threads and returns their results
+/// in job order.
+///
+/// `f` is called once per job index `i` in `0..n_jobs`, with the id of
+/// the executing worker as its first argument (0 when running inline,
+/// `1..=workers` on pool threads). Worker ids exist for telemetry
+/// tagging only — results are keyed by job index, never by worker.
+///
+/// # Panics
+///
+/// Propagates a panic from any job (the scope joins all workers
+/// first).
+pub fn run_jobs<R, F>(n_jobs: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u32, usize) -> R + Sync,
+{
+    if workers <= 1 || n_jobs <= 1 {
+        return (0..n_jobs).map(|i| f(0, i)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for worker in 1..=workers.min(n_jobs) {
+            let cursor = &cursor;
+            let slots = &slots;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n_jobs {
+                    break;
+                }
+                let result = f(worker as u32, i);
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("every job index was claimed exactly once")
+        })
+        .collect()
+}
+
+/// Default worker count for `-j` without an argument: the machine's
+/// available parallelism, or 1 if it cannot be determined.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for workers in [1, 2, 4, 9] {
+            let out = run_jobs(100, workers, |_, i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let out: Vec<usize> = run_jobs(0, 4, |_, i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn inline_mode_reports_worker_zero() {
+        let out = run_jobs(3, 1, |w, _| w);
+        assert_eq!(out, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn pool_mode_uses_nonzero_worker_ids() {
+        let out = run_jobs(64, 4, |w, _| w);
+        assert!(out.iter().all(|&w| (1..=4).contains(&w)));
+    }
+
+    #[test]
+    fn output_is_identical_across_worker_counts() {
+        let seq = run_jobs(200, 1, |_, i| i.wrapping_mul(2_654_435_761));
+        for workers in [2, 3, 4, 8] {
+            assert_eq!(
+                seq,
+                run_jobs(200, workers, |_, i| i.wrapping_mul(2_654_435_761))
+            );
+        }
+    }
+
+    #[test]
+    fn default_jobs_is_at_least_one() {
+        assert!(default_jobs() >= 1);
+    }
+}

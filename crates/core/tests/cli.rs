@@ -211,6 +211,151 @@ fn report_json_and_trace_are_versioned_and_reproducible() {
 }
 
 #[test]
+fn bad_flag_values_are_diagnosed_not_panicked() {
+    // Every case must exit 2 with a diagnostic on stderr — no panic
+    // backtraces, no silently ignored options.
+    let cases: &[&[&str]] = &[
+        // --sel must be a finite percentage in [0, 100].
+        &["--sel", "NaN", "x.mlc"],
+        &["--sel", "inf", "x.mlc"],
+        &["--sel", "-3", "x.mlc"],
+        &["--sel", "250", "x.mlc"],
+        // --budget in MiB must not overflow the byte count (this used
+        // to hit a `mib << 20` debug-mode panic).
+        &["--budget", "99999999999999999999", "x.mlc"],
+        &["--budget", "18446744073709551615", "x.mlc"],
+        // Worker and shard counts must be positive.
+        &["-j", "0", "x.mlc"],
+        &["--jobs", "nope", "x.mlc"],
+        &["--shards", "0", "x.mlc"],
+        // -c builds no image, so image-consuming flags conflict.
+        &["-c", "--run", "1", "x.mlc"],
+        &["-c", "--emit-asm", "x.mlc"],
+        &["-c", "--report", "x.mlc"],
+        &["-c", "--report-json", "r.json", "x.mlc"],
+        &["-c", "--trace", "t.jsonl", "x.mlc"],
+        // A profile database can only come out of a run.
+        &["--profile-out", "p.db", "x.mlc"],
+        // Flags that expect a value must say so when it is missing.
+        &["--sel"],
+        &["--budget"],
+        &["-j"],
+    ];
+    for args in cases {
+        let out = cmocc().args(*args).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "expected usage error for {args:?}, got {:?}\nstderr: {}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(!err.is_empty(), "no diagnostic for {args:?}");
+        assert!(
+            !err.contains("panicked"),
+            "panic instead of diagnostic for {args:?}: {err}"
+        );
+    }
+
+    // A missing input file is a runtime failure (exit 1), not a crash.
+    let out = cmocc().arg("no-such-file.mlc").output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no-such-file.mlc"), "{err}");
+}
+
+#[test]
+fn jobs_flag_reproduces_report_and_trace_byte_for_byte() {
+    let dir = workdir("jobs");
+    let lib = dir.join("lib.mlc");
+    let app = dir.join("app.mlc");
+    std::fs::write(&lib, LIB).unwrap();
+    std::fs::write(&app, APP).unwrap();
+
+    let emit = |tag: &str, jflag: &str| -> (String, String) {
+        let report = dir.join(format!("report-{tag}.json"));
+        let trace = dir.join(format!("trace-{tag}.jsonl"));
+        let out = cmocc()
+            .args([
+                "+O4",
+                jflag,
+                "--shards",
+                "2",
+                "--budget",
+                "1",
+                "--report-json",
+            ])
+            .arg(&report)
+            .arg("--trace")
+            .arg(&trace)
+            .arg(&lib)
+            .arg(&app)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            std::fs::read_to_string(&report).unwrap(),
+            std::fs::read_to_string(&trace).unwrap(),
+        )
+    };
+    let (report_1, trace_1) = emit("j1", "-j1");
+    let (report_4, trace_4) = emit("j4", "-j4");
+    assert_eq!(report_1, report_4, "-j4 report differs from -j1");
+    assert_eq!(trace_1, trace_4, "-j4 trace differs from -j1");
+    assert!(trace_1.contains("\"worker\":"), "{trace_1}");
+
+    // The spaced `--jobs N` spelling is accepted too.
+    let out = cmocc()
+        .args(["--jobs", "4", "--run", "10"])
+        .arg(&lib)
+        .arg(&app)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn compile_only_messages_follow_input_order_at_any_jobs() {
+    let dir = workdir("corder");
+    let mut paths = Vec::new();
+    for i in 0..6 {
+        let p = dir.join(format!("m{i}.mlc"));
+        let body = if i == 0 {
+            "fn main() -> int { return 0; }\n".to_owned()
+        } else {
+            format!("fn f{i}(x: int) -> int {{ return x + {i}; }}\n")
+        };
+        std::fs::write(&p, body).unwrap();
+        paths.push(p);
+    }
+    let run = |jobs: &str| -> String {
+        let out = cmocc()
+            .args(["-c", "-j", jobs])
+            .args(&paths)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    assert_eq!(run("1"), run("4"), "-c progress output depends on -j");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn builds_under_memory_pressure() {
     let dir = workdir("pressure");
     let mut src = String::from("fn main() -> int {\n var acc: int = 0;\n");

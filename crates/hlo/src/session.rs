@@ -1,7 +1,7 @@
 //! The HLO optimization session: program state behind the NAIM loader.
 
 use cmo_ir::{LinkedUnit, ModuleId, Program, RoutineBody, RoutineId, Transitory};
-use cmo_naim::{Loader, MemClass, MemorySnapshot, NaimConfig, NaimError, PoolId, PoolKind};
+use cmo_naim::{MemClass, MemorySnapshot, NaimConfig, NaimError, PoolId, PoolKind, ShardedLoader};
 use cmo_profile::{ProfileDb, RoutineShape};
 use cmo_telemetry::Telemetry;
 use std::collections::BTreeMap;
@@ -35,17 +35,19 @@ pub struct HloStats {
 
 /// One optimization session over a linked program.
 ///
-/// Owns the always-resident program symbol information and the NAIM
-/// loader holding every transitory pool. All body access goes through
+/// Owns the always-resident program symbol information and the sharded
+/// NAIM loader holding every transitory pool (shard count comes from
+/// [`NaimConfig::shards`]). All body access goes through
 /// [`HloSession::body`] / [`HloSession::body_mut`] so the loader can
 /// manage residency, and phases call [`HloSession::unload_all`] at
 /// their boundaries ("clients simply request that all unneeded pools
-/// are unloaded", §4.3).
+/// are unloaded", §4.3). The session is `Send`, so the driver may move
+/// it between pipeline threads.
 #[derive(Debug)]
 pub struct HloSession {
     /// The program symbol tables (global objects, always resident).
     pub program: Program,
-    loader: Loader<Transitory>,
+    loader: ShardedLoader<Transitory>,
     routine_pool: Vec<PoolId>,
     symtab_pool: Vec<PoolId>,
     /// Maintained block execution counts per routine (derived data;
@@ -106,7 +108,7 @@ impl HloSession {
             bodies,
             symtabs,
         } = unit;
-        let mut loader = Loader::new(config);
+        let mut loader = ShardedLoader::new(config);
         loader.set_telemetry(telemetry.clone());
         loader.account(MemClass::Global, program.heap_bytes() as isize);
 
@@ -361,5 +363,18 @@ impl HloSession {
             symtabs.push(self.symtab(ModuleId::from_index(m))?.clone());
         }
         Ok((self.program, bodies, symtabs, self.counts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_is_send() {
+        // The parallel driver moves sessions (and their sharded
+        // loaders) across pipeline threads.
+        fn assert_send<T: Send>() {}
+        assert_send::<HloSession>();
     }
 }

@@ -68,8 +68,9 @@ mod error;
 mod loader;
 mod pid;
 mod repository;
+mod sharded;
 
-pub use accounting::{MemClass, MemoryAccountant, MemorySnapshot};
+pub use accounting::{MemClass, MemoryAccountant, MemorySnapshot, SharedAccountant};
 pub use arena::Arena;
 pub use encode::{Decoder, Encoder};
 pub use error::{DecodeError, NaimError};
@@ -79,3 +80,4 @@ pub use loader::{
 };
 pub use pid::Pid;
 pub use repository::{MemBackend, RepoBackend, RepoHandle, Repository};
+pub use sharded::ShardedLoader;

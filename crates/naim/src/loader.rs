@@ -7,11 +7,12 @@
 //! decided internally from the configured memory [`Thresholds`] — the
 //! scheme is transparent to clients, exactly as in §4.3.
 
-use crate::accounting::{MemClass, MemoryAccountant, MemorySnapshot};
+use crate::accounting::{MemClass, MemoryAccountant, MemorySnapshot, SharedAccountant};
 use crate::encode::{Decoder, Encoder};
 use crate::error::{DecodeError, NaimError};
 use crate::repository::{MemBackend, RepoBackend, RepoHandle, Repository};
 use cmo_telemetry::{Telemetry, TraceEvent};
+use std::sync::Arc;
 
 /// An object that has both expanded and relocatable forms (§4.2.1).
 ///
@@ -47,6 +48,12 @@ impl PoolId {
     #[must_use]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Builds a pool id from a raw index (used by the sharded facade to
+    /// translate between global and per-shard id spaces).
+    pub(crate) fn from_raw(raw: u32) -> PoolId {
+        PoolId(raw)
     }
 }
 
@@ -131,6 +138,12 @@ pub struct NaimConfig {
     pub compact_cost_per_byte: u64,
     /// Simulated cost (work units) per byte moved to or from disk.
     pub disk_cost_per_byte: u64,
+    /// Number of shards a [`crate::ShardedLoader`] splits its pools
+    /// across. Ignored by a plain [`Loader`]. Must be at least 1; the
+    /// memory budget and thresholds stay program-wide regardless
+    /// (shards report into one shared accountant), while `cache_pools`
+    /// is a per-shard limit.
+    pub shards: usize,
 }
 
 impl NaimConfig {
@@ -145,6 +158,7 @@ impl NaimConfig {
             cache_pools: 16,
             compact_cost_per_byte: 1,
             disk_cost_per_byte: 4,
+            shards: 1,
         }
     }
 
@@ -168,6 +182,14 @@ impl NaimConfig {
     #[must_use]
     pub fn hard_limit(mut self, bytes: usize) -> Self {
         self.hard_limit_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the shard count for sharded loaders, returning the
+    /// modified config. Values below 1 are clamped to 1.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 }
@@ -221,20 +243,76 @@ struct Slot<T> {
     compact_size: usize,
 }
 
+/// How a loader reports byte occupancy: a private accountant for a
+/// standalone loader, or a reference to the program-wide atomic
+/// accountant shared by every shard of a [`crate::ShardedLoader`].
+#[derive(Debug)]
+enum Accountant {
+    Local(MemoryAccountant),
+    Shared(Arc<SharedAccountant>),
+}
+
+impl Accountant {
+    fn add(&mut self, class: MemClass, bytes: usize) {
+        match self {
+            Accountant::Local(a) => a.add(class, bytes),
+            Accountant::Shared(a) => a.add(class, bytes),
+        }
+    }
+
+    fn remove(&mut self, class: MemClass, bytes: usize) {
+        match self {
+            Accountant::Local(a) => a.remove(class, bytes),
+            Accountant::Shared(a) => a.remove(class, bytes),
+        }
+    }
+
+    fn adjust(&mut self, class: MemClass, delta: isize) {
+        match self {
+            Accountant::Local(a) => a.adjust(class, delta),
+            Accountant::Shared(a) => a.adjust(class, delta),
+        }
+    }
+
+    fn total(&self) -> usize {
+        match self {
+            Accountant::Local(a) => a.total(),
+            Accountant::Shared(a) => a.total(),
+        }
+    }
+
+    fn snapshot(&self) -> MemorySnapshot {
+        match self {
+            Accountant::Local(a) => a.snapshot(),
+            Accountant::Shared(a) => a.snapshot(),
+        }
+    }
+}
+
 /// Manages the residency of transitory object pools.
 ///
-/// See the [crate docs](crate) for a usage example. The loader is
-/// deliberately single-threaded: parallelizing load/unload with
-/// optimization is the paper's future work (§8).
+/// See the [crate docs](crate) for a usage example. A `Loader` is a
+/// single-threaded building block: one loader still serves one thread
+/// at a time, but the [`crate::ShardedLoader`] facade composes several
+/// of them (one per shard, each behind its own mutex, all reporting
+/// into one shared atomic accountant) into the thread-safe loader the
+/// parallel driver pipeline uses — the parallelization of NAIM
+/// load/unload that the paper's §8 names as future work.
 #[derive(Debug)]
 pub struct Loader<T, B = MemBackend> {
     config: NaimConfig,
-    accountant: MemoryAccountant,
+    accountant: Accountant,
     repo: Repository<B>,
     slots: Vec<Slot<T>>,
     clock: u64,
     stats: LoaderStats,
     telemetry: Telemetry,
+    /// Global id of this loader's pool 0 (shard index within a sharded
+    /// loader; 0 standalone).
+    id_base: u32,
+    /// Distance in global-id space between consecutive local pools
+    /// (shard count within a sharded loader; 1 standalone).
+    id_stride: u32,
 }
 
 /// Trace-event kind string for a pool kind.
@@ -258,13 +336,43 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
     pub fn with_repository(config: NaimConfig, repo: Repository<B>) -> Self {
         Loader {
             config,
-            accountant: MemoryAccountant::new(),
+            accountant: Accountant::Local(MemoryAccountant::new()),
             repo,
             slots: Vec::new(),
             clock: 0,
             stats: LoaderStats::default(),
             telemetry: Telemetry::disabled(),
+            id_base: 0,
+            id_stride: 1,
         }
+    }
+
+    /// Creates shard `id_base` of `id_stride` total shards, reporting
+    /// into the shared program-wide accountant. Local pool `i` carries
+    /// global id `id_base + i * id_stride` in telemetry.
+    pub(crate) fn shard(
+        config: NaimConfig,
+        repo: Repository<B>,
+        accountant: Arc<SharedAccountant>,
+        id_base: u32,
+        id_stride: u32,
+    ) -> Self {
+        Loader {
+            config,
+            accountant: Accountant::Shared(accountant),
+            repo,
+            slots: Vec::new(),
+            clock: 0,
+            stats: LoaderStats::default(),
+            telemetry: Telemetry::disabled(),
+            id_base,
+            id_stride: id_stride.max(1),
+        }
+    }
+
+    /// Global (externally visible) pool id for local slot `idx`.
+    fn external_id(&self, idx: usize) -> u32 {
+        self.id_base + idx as u32 * self.id_stride
     }
 
     /// Attaches a telemetry sink; pool-state transitions are emitted as
@@ -384,7 +492,7 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
             self.telemetry.work(cost);
             self.telemetry.emit(TraceEvent::Pool {
                 action: "fetch",
-                pool: id.0,
+                pool: self.external_id(idx),
                 kind,
                 bytes: image.len() as u64,
                 lru_pos: 0,
@@ -411,7 +519,7 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
             self.telemetry.work(cost);
             self.telemetry.emit(TraceEvent::Pool {
                 action: "expand",
-                pool: id.0,
+                pool: self.external_id(idx),
                 kind,
                 bytes: image_len as u64,
                 lru_pos: 0,
@@ -473,7 +581,7 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
                     self.stats.cache_rescues += 1;
                     self.telemetry.emit(TraceEvent::Pool {
                         action: "rescue",
-                        pool: id.0,
+                        pool: self.external_id(idx),
                         kind: kind_str(self.slots[idx].kind),
                         bytes: self.slots[idx].expanded_size as u64,
                         lru_pos,
@@ -520,12 +628,26 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
     ///
     /// Panics if `id` was not produced by this loader.
     pub fn unload(&mut self, id: PoolId) -> Result<(), NaimError> {
+        self.mark_unload(id);
+        self.enforce()
+    }
+
+    /// Marks `id` unload-pending without enforcing the memory policy.
+    /// The sharded facade uses this to batch marking (per shard) ahead
+    /// of one program-wide enforcement pass.
+    pub(crate) fn mark_unload(&mut self, id: PoolId) {
         self.reaccount(id);
         let slot = &mut self.slots[id.index()];
         if matches!(slot.state, State::Expanded(_)) {
             slot.unload_pending = true;
         }
-        self.enforce()
+    }
+
+    /// Marks every expanded pool unload-pending without enforcing.
+    pub(crate) fn mark_all_unload(&mut self) {
+        for idx in 0..self.slots.len() {
+            self.mark_unload(PoolId(idx as u32));
+        }
     }
 
     /// Marks every expanded pool unload-pending and enforces the memory
@@ -536,18 +658,13 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
     ///
     /// Propagates enforcement failures (hard out-of-memory).
     pub fn unload_all(&mut self) -> Result<(), NaimError> {
-        for idx in 0..self.slots.len() {
-            self.reaccount(PoolId(idx as u32));
-            let slot = &mut self.slots[idx];
-            if matches!(slot.state, State::Expanded(_)) {
-                slot.unload_pending = true;
-            }
-        }
+        self.mark_all_unload();
         self.enforce()
     }
 
     fn compact_slot(&mut self, idx: usize) {
         let lru_pos = self.lru_rank(idx);
+        let pool = self.external_id(idx);
         let slot = &mut self.slots[idx];
         if let State::Expanded(v) = &slot.state {
             let mut enc = Encoder::with_capacity(slot.compact_size.max(64));
@@ -560,7 +677,7 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
             self.telemetry.work(cost);
             self.telemetry.emit(TraceEvent::Pool {
                 action: "compact",
-                pool: idx as u32,
+                pool,
                 kind: kind_str(slot.kind),
                 bytes: image.len() as u64,
                 lru_pos,
@@ -590,7 +707,7 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
         self.telemetry.work(cost);
         self.telemetry.emit(TraceEvent::Pool {
             action: "offload",
-            pool: idx as u32,
+            pool: self.external_id(idx),
             kind: kind_str(self.slots[idx].kind),
             bytes: image.len() as u64,
             lru_pos: 0,
@@ -627,6 +744,16 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
     /// Returns [`NaimError::OutOfMemory`] if the heap cannot be brought
     /// under the hard limit.
     pub fn enforce(&mut self) -> Result<(), NaimError> {
+        self.enforce_unlimited()?;
+        self.check_hard_limit()
+    }
+
+    /// The threshold-driven compact/offload sweep of [`Loader::enforce`]
+    /// *without* the final hard-limit check. The sharded facade runs
+    /// this on every shard before checking the program-wide hard limit
+    /// once — a single shard over the limit is not out of memory while
+    /// other shards still hold reclaimable pending pools.
+    pub(crate) fn enforce_unlimited(&mut self) -> Result<(), NaimError> {
         let budget = self.config.budget_bytes as f64;
         let t_ir = (budget * self.config.thresholds.ir_compaction) as usize;
         let t_st = (budget * self.config.thresholds.st_compaction) as usize;
@@ -672,6 +799,13 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Fails with [`NaimError::OutOfMemory`] if accounted memory (which
+    /// is program-wide when the accountant is shared) exceeds the hard
+    /// limit.
+    pub(crate) fn check_hard_limit(&self) -> Result<(), NaimError> {
         if let Some(limit) = self.config.hard_limit_bytes {
             let total = self.accountant.total();
             if total > limit {

@@ -26,6 +26,28 @@ use cmo_ir::{CallSiteId, Instr, ModuleId, Program, RoutineBody, RoutineId};
 use cmo_profile::ProfileDb;
 use cmo_telemetry::{Telemetry, TraceEvent};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A selectivity request the compiler cannot honor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectError {
+    /// The selection percentage was NaN or infinite. A NaN percentage
+    /// silently propagating through the ranking math would select zero
+    /// sites with no diagnostic, so it is rejected up front.
+    NonFinitePercent(f64),
+}
+
+impl fmt::Display for SelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectError::NonFinitePercent(p) => {
+                write!(f, "selectivity percentage must be finite, got {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
 
 /// One ranked call site.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,29 +130,43 @@ pub fn rank_sites(program: &Program, bodies: &[RoutineBody], db: &ProfileDb) -> 
 /// Coarse-grained selection: retain the top `percent`% of call sites
 /// and mark the modules of their callers and callees for CMO (§5).
 ///
-/// `percent` is clamped to `[0, 100]`. With 0 no module is selected;
-/// with 100 every module containing or targeted by any call is.
-#[must_use]
+/// Finite `percent` values are clamped to `[0, 100]`. With 0 no module
+/// is selected; with 100 every module containing or targeted by any
+/// call is.
+///
+/// # Errors
+///
+/// Returns [`SelectError::NonFinitePercent`] for NaN or infinite
+/// `percent` — `NaN.clamp(0.0, 100.0)` stays NaN, and
+/// `(len as f64 * NaN / 100.0).ceil() as usize` collapses to 0, which
+/// used to silently deselect every site.
 pub fn coarse_select(
     program: &Program,
     bodies: &[RoutineBody],
     db: &ProfileDb,
     percent: f64,
-) -> SelectionPlan {
+) -> Result<SelectionPlan, SelectError> {
     coarse_select_traced(program, bodies, db, percent, &Telemetry::disabled())
 }
 
 /// Like [`coarse_select`], but emits a [`TraceEvent::SelectSite`] for
 /// every ranked site (kept or cut, with its rank and count) and a
 /// [`TraceEvent::SelectModule`] for every module, into `telemetry`.
-#[must_use]
+///
+/// # Errors
+///
+/// Returns [`SelectError::NonFinitePercent`] for NaN or infinite
+/// `percent`.
 pub fn coarse_select_traced(
     program: &Program,
     bodies: &[RoutineBody],
     db: &ProfileDb,
     percent: f64,
     telemetry: &Telemetry,
-) -> SelectionPlan {
+) -> Result<SelectionPlan, SelectError> {
+    if !percent.is_finite() {
+        return Err(SelectError::NonFinitePercent(percent));
+    }
     let percent = percent.clamp(0.0, 100.0);
     let ranked = rank_sites(program, bodies, db);
     let keep = ((ranked.len() as f64) * percent / 100.0).ceil() as usize;
@@ -187,7 +223,7 @@ pub fn coarse_select_traced(
     } else {
         in_cmo as f64 / total as f64
     };
-    plan
+    Ok(plan)
 }
 
 /// Optimization layer assigned to a routine by the multi-layered
@@ -324,7 +360,7 @@ mod tests {
     #[test]
     fn half_selection_takes_the_hot_module_only() {
         let (program, bodies, db) = fixture();
-        let plan = coarse_select(&program, &bodies, &db, 50.0);
+        let plan = coarse_select(&program, &bodies, &db, 50.0).unwrap();
         assert_eq!(plan.selected_sites.len(), 1);
         // main_mod (caller) + hot_mod (callee), but not cold_mod.
         assert_eq!(plan.cmo_modules.len(), 2);
@@ -342,9 +378,9 @@ mod tests {
     #[test]
     fn full_selection_takes_everything_zero_takes_nothing() {
         let (program, bodies, db) = fixture();
-        let all = coarse_select(&program, &bodies, &db, 100.0);
+        let all = coarse_select(&program, &bodies, &db, 100.0).unwrap();
         assert_eq!(all.cmo_modules.len(), 3);
-        let none = coarse_select(&program, &bodies, &db, 0.0);
+        let none = coarse_select(&program, &bodies, &db, 0.0).unwrap();
         assert!(none.cmo_modules.is_empty());
         assert!(none.selected_sites.is_empty());
         assert_eq!(none.loc_fraction, 0.0);
@@ -353,7 +389,7 @@ mod tests {
     #[test]
     fn fine_grained_marks_callers_and_callees() {
         let (program, bodies, db) = fixture();
-        let plan = coarse_select(&program, &bodies, &db, 50.0);
+        let plan = coarse_select(&program, &bodies, &db, 50.0).unwrap();
         let main = program.find_routine("main").unwrap();
         let hot = program.find_routine("helper_hot").unwrap();
         let cold = program.find_routine("helper_cold").unwrap();
@@ -368,9 +404,9 @@ mod tests {
         let empty = ProfileDb::new();
         // All counts are zero; 100% still selects every module, with
         // deterministic tie-breaking.
-        let plan = coarse_select(&program, &bodies, &empty, 100.0);
+        let plan = coarse_select(&program, &bodies, &empty, 100.0).unwrap();
         assert_eq!(plan.cmo_modules.len(), 3);
-        let plan2 = coarse_select(&program, &bodies, &empty, 100.0);
+        let plan2 = coarse_select(&program, &bodies, &empty, 100.0).unwrap();
         assert_eq!(plan.selected_sites, plan2.selected_sites);
     }
 
@@ -385,6 +421,22 @@ mod tests {
         assert_eq!(layers[&cold], OptLayer::Standard);
         // main ran once: it is warm, not hot.
         assert!(layers[&main] >= OptLayer::Standard);
+    }
+
+    #[test]
+    fn non_finite_percent_is_rejected() {
+        // Regression: NaN used to flow through clamp() and the
+        // keep-count math, silently selecting zero sites.
+        let (program, bodies, db) = fixture();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                matches!(
+                    coarse_select(&program, &bodies, &db, bad),
+                    Err(SelectError::NonFinitePercent(_))
+                ),
+                "percent {bad} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Determinism under parallelism (§6.2 discipline, extended to `-j`):
+//! the unified report and the event trace must be byte-identical no
+//! matter how many workers ran the build, and a sharded NAIM loader
+//! must not change what the compiler produces.
+//!
+//! CI runs this suite twice with `CMO_TEST_JOBS=1` and `CMO_TEST_JOBS=4`
+//! so the "reference" level itself moves; the assertions compare every
+//! level against `-j1` directly, so either way nothing may drift.
+
+use cmo::{BuildOptions, NaimConfig, OptLevel, Telemetry};
+use cmo_repro::harness::{compiler_for, train_profile};
+use cmo_synth::{generate, SynthSpec};
+
+/// Worker counts under test: always 1, 2, and 4, plus whatever CI asks
+/// for through `CMO_TEST_JOBS`.
+fn jobs_levels() -> Vec<usize> {
+    let mut levels = vec![1, 2, 4];
+    if let Some(n) = std::env::var("CMO_TEST_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n >= 1 && !levels.contains(&n) {
+            levels.push(n);
+        }
+    }
+    levels
+}
+
+/// One instrumented build at `jobs` workers; returns (report JSON,
+/// trace JSONL, image code) for byte-for-byte comparison.
+fn build_at(jobs: usize, shards: usize) -> (String, String, Vec<u8>) {
+    let app = generate(&SynthSpec::small("par-det", 23));
+    let cc = compiler_for(&app).unwrap();
+    let db = train_profile(&cc, &app.train_input).unwrap();
+    let tel = Telemetry::enabled();
+    let mut opts = BuildOptions::new(OptLevel::O4)
+        .with_profile_db(db)
+        .with_selectivity(40.0)
+        .with_naim(NaimConfig::with_budget(64 << 10).shards(shards))
+        .with_jobs(jobs);
+    opts.telemetry = tel.clone();
+    let out = cc.build(&opts).unwrap();
+    let code: Vec<u8> = out
+        .image
+        .code
+        .iter()
+        .flat_map(|w| format!("{w:?};").into_bytes())
+        .collect();
+    (out.compile_report().to_json(), tel.render_trace(), code)
+}
+
+#[test]
+fn report_and_trace_are_byte_identical_across_jobs() {
+    let (report_1, trace_1, code_1) = build_at(1, 1);
+    for jobs in jobs_levels() {
+        let (report_j, trace_j, code_j) = build_at(jobs, 1);
+        assert_eq!(report_1, report_j, "report drifted at -j{jobs}");
+        assert_eq!(trace_1, trace_j, "trace drifted at -j{jobs}");
+        assert_eq!(code_1, code_j, "image drifted at -j{jobs}");
+    }
+}
+
+#[test]
+fn trace_records_worker_ids_but_sorts_on_the_work_clock() {
+    let (_, trace, _) = build_at(4, 1);
+    let mut last_work = 0u64;
+    let mut saw_worker_field = false;
+    for line in trace.lines().skip(1) {
+        let work: u64 = line
+            .split("\"work\":")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("trace line without work clock: {line}"));
+        assert!(work >= last_work, "trace not sorted on work clock: {line}");
+        last_work = work;
+        saw_worker_field |= line.contains("\"worker\":");
+    }
+    assert!(saw_worker_field, "trace lines carry no worker field");
+}
+
+#[test]
+fn sharded_loader_does_not_change_the_build() {
+    let (_, _, code_one_shard) = build_at(1, 1);
+    for shards in [2, 4] {
+        for jobs in jobs_levels() {
+            let (report, trace, code) = build_at(jobs, shards);
+            assert_eq!(
+                code_one_shard, code,
+                "image drifted at {shards} shards, -j{jobs}"
+            );
+            // At a fixed shard count the full telemetry must also be
+            // reproducible run-to-run and across worker counts.
+            let (report_again, trace_again, _) = build_at(jobs, shards);
+            assert_eq!(report, report_again, "report unstable at {shards} shards");
+            assert_eq!(trace, trace_again, "trace unstable at {shards} shards");
+        }
+    }
+}
+
+#[test]
+fn parallel_frontend_matches_sequential_frontend() {
+    let app = generate(&SynthSpec::small("par-fe", 9));
+    let modules: Vec<(String, String)> = app.modules.clone();
+    let build = |jobs: usize| {
+        let mut cc = cmo::Compiler::new();
+        cc.add_sources(&modules, jobs).unwrap();
+        cc.build(&BuildOptions::new(OptLevel::O4)).unwrap()
+    };
+    let seq = build(1);
+    let par = build(4);
+    assert_eq!(seq.image.code, par.image.code);
+    assert_eq!(seq.report.hlo, par.report.hlo);
+}

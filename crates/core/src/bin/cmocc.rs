@@ -20,13 +20,21 @@
 //!   --report           print the build report
 //!   --report-json <f>  write the unified cmo.report.v1 JSON report
 //!   --trace <f>        write the cmo.trace.v1 event trace (JSONL)
+//!   --cache-dir <dir>  persistent incremental cache: unchanged
+//!                      modules skip the front end, an unchanged build
+//!                      replays the linked image and report
+//!   --no-cache         explicitly disable caching (conflicts with
+//!                      --cache-dir)
 //! ```
 //!
 //! Sources compile to IL objects; objects feed the optimizing link.
 //! Mixing `.mlc` and pre-compiled `.cmo` files on one command line is
 //! the `make` flow of §6.1.
 
-use cmo::{build_objects, BuildError, BuildOptions, NaimConfig, OptLevel, ProfileDb, Telemetry};
+use cmo::{
+    build_objects_cached, BuildCache, BuildError, BuildOptions, NaimConfig, OptLevel, ProfileDb,
+    Telemetry,
+};
 use cmo_ir::IlObject;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -47,12 +55,14 @@ struct Cli {
     report: bool,
     report_json: Option<PathBuf>,
     trace: Option<PathBuf>,
+    cache_dir: Option<PathBuf>,
+    no_cache: bool,
 }
 
 fn usage() -> String {
     "usage: cmocc [-c] [+O1|+O2|+O4] [+P <db>] [+I] [--sel <pct>] [--budget <MiB>] \
      [-j <N>] [--shards <N>] [--run <v1,v2,..>] [--profile-out <f>] [--emit-asm] [--report] \
-     [--report-json <f>] [--trace <f>] <files...>"
+     [--report-json <f>] [--trace <f>] [--cache-dir <dir>] [--no-cache] <files...>"
         .to_owned()
 }
 
@@ -76,6 +86,9 @@ fn validate(cli: &Cli) -> Result<(), String> {
                 ));
             }
         }
+    }
+    if cli.no_cache && cli.cache_dir.is_some() {
+        return Err("--no-cache conflicts with --cache-dir: pick one caching behaviour".to_owned());
     }
     if cli.profile_out.is_some() && cli.run.is_none() {
         return Err("--profile-out requires --run (profiles come from executing main)".to_owned());
@@ -107,6 +120,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         report: false,
         report_json: None,
         trace: None,
+        cache_dir: None,
+        no_cache: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -176,6 +191,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--report" => cli.report = true,
             "--report-json" => cli.report_json = Some(PathBuf::from(next("a path")?)),
             "--trace" => cli.trace = Some(PathBuf::from(next("a path")?)),
+            "--cache-dir" => cli.cache_dir = Some(PathBuf::from(next("a directory")?)),
+            "--no-cache" => cli.no_cache = true,
             "-h" | "--help" => return Err(usage()),
             jn if jn.strip_prefix("-j").is_some_and(|n| !n.is_empty()) => {
                 let n: usize = jn[2..].parse().map_err(|e| format!("bad -j value: {e}"))?;
@@ -248,17 +265,125 @@ fn load_objects(cli: &Cli) -> Result<Vec<IlObject>, String> {
     Ok(objects)
 }
 
+/// One classified input file: either a pre-compiled IL object or MLC
+/// source still to be compiled (or fetched from the cache).
+enum LoadedInput {
+    Object(IlObject),
+    Source { module: String, source: String },
+}
+
+fn read_one(path: &Path) -> Result<LoadedInput, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if IlObject::is_il_object(&bytes) {
+        let obj = IlObject::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+        return Ok(LoadedInput::Object(obj));
+    }
+    let source = String::from_utf8(bytes).map_err(|_| {
+        format!(
+            "{} is neither an IL object nor UTF-8 source",
+            path.display()
+        )
+    })?;
+    Ok(LoadedInput::Source {
+        module: module_name(path),
+        source,
+    })
+}
+
+/// [`load_objects`] with the incremental cache in the loop: inputs are
+/// read and classified over the worker pool, then probed against the
+/// cache *on the main thread in input order* (so cache trace events
+/// are deterministic at any `-j`); only the misses are compiled, again
+/// over the worker pool. Returns the objects plus their per-module
+/// fingerprints for the whole-build key.
+fn load_objects_cached(
+    cli: &Cli,
+    bcache: &mut BuildCache,
+    tel: &Telemetry,
+) -> Result<(Vec<IlObject>, Vec<String>), String> {
+    let reads = cmo::run_jobs(cli.inputs.len(), cli.jobs, |_, i| read_one(&cli.inputs[i]));
+    let mut inputs = Vec::with_capacity(reads.len());
+    for read in reads {
+        inputs.push(read?);
+    }
+    let mut fps = Vec::with_capacity(inputs.len());
+    let mut slots: Vec<Option<IlObject>> = Vec::with_capacity(inputs.len());
+    let mut misses: Vec<usize> = Vec::new();
+    for (i, input) in inputs.iter().enumerate() {
+        match input {
+            LoadedInput::Object(obj) => {
+                fps.push(cmo::object_fingerprint(&obj.module_name, &obj.to_bytes()));
+                slots.push(Some(obj.clone()));
+            }
+            LoadedInput::Source { module, source } => {
+                let fp = cmo::module_fingerprint(module, source);
+                match bcache.get_module(module, &fp, tel) {
+                    Some(obj) => slots.push(Some(obj)),
+                    None => {
+                        slots.push(None);
+                        misses.push(i);
+                    }
+                }
+                fps.push(fp);
+            }
+        }
+    }
+    let compiled = cmo::run_jobs(misses.len(), cli.jobs, |_, k| {
+        let LoadedInput::Source { module, source } = &inputs[misses[k]] else {
+            unreachable!("only source inputs can miss the cache");
+        };
+        cmo::compile_module(module, source)
+            .map_err(|e| format!("{}:{e}", cli.inputs[misses[k]].display()))
+    });
+    for (k, result) in compiled.into_iter().enumerate() {
+        slots[misses[k]] = Some(result?);
+    }
+    let mut objects = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        let obj = slot.expect("every slot filled by hit or compile");
+        if misses.binary_search(&i).is_ok() {
+            let LoadedInput::Source { module, .. } = &inputs[i] else {
+                unreachable!("only source inputs can miss the cache");
+            };
+            bcache.put_module(module, &fps[i], &obj, tel);
+        }
+        if cli.compile_only && matches!(inputs[i], LoadedInput::Source { .. }) {
+            let out = cli.inputs[i].with_extension("cmo");
+            std::fs::write(&out, obj.to_bytes())
+                .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+            println!("wrote {}", out.display());
+        }
+        objects.push(obj);
+    }
+    Ok((objects, fps))
+}
+
 fn run_cli(cli: &Cli) -> Result<(), String> {
     let tel = if cli.report_json.is_some() || cli.trace.is_some() {
         Telemetry::enabled()
     } else {
         Telemetry::disabled()
     };
-    let objects = {
+    let mut bcache = match &cli.cache_dir {
+        Some(dir) => Some(
+            BuildCache::open(dir)
+                .map_err(|e| format!("cannot open cache at {}: {e}", dir.display()))?,
+        ),
+        None => None,
+    };
+    let (objects, fingerprints) = {
         let _parse = tel.phase("parse");
-        load_objects(cli)?
+        match bcache.as_mut() {
+            Some(cache) => load_objects_cached(cli, cache, &tel)?,
+            None => (load_objects(cli)?, Vec::new()),
+        }
     };
     if cli.compile_only {
+        if let Some(cache) = bcache.as_mut() {
+            cache
+                .persist()
+                .map_err(|e| format!("cannot persist cache: {e}"))?;
+        }
         return Ok(());
     }
     let mut options = BuildOptions::new(cli.level).with_jobs(cli.jobs);
@@ -281,12 +406,14 @@ fn run_cli(cli: &Cli) -> Result<(), String> {
         options.naim = options.naim.clone().shards(shards);
     }
 
-    let out = build_objects(objects, &options).map_err(|e| match e {
-        BuildError::Naim(inner) => {
-            format!("optimizer out of memory: {inner}\n(hint: raise --budget or lower --sel, §5)")
-        }
-        other => other.to_string(),
-    })?;
+    let out = build_objects_cached(objects, &fingerprints, &options, bcache.as_mut()).map_err(
+        |e| match e {
+            BuildError::Naim(inner) => format!(
+                "optimizer out of memory: {inner}\n(hint: raise --budget or lower --sel, §5)"
+            ),
+            other => other.to_string(),
+        },
+    )?;
     println!(
         "linked {} instructions across {} routines",
         out.image.code_size(),
@@ -313,6 +440,15 @@ fn run_cli(cli: &Cli) -> Result<(), String> {
             r.peak_memory.peak_total, r.loader.compactions, r.loader.offload_writes
         );
         println!("  compile work: {} units", r.compile_work);
+        if r.cache.enabled {
+            println!(
+                "  cache: {} module hits, {} misses, {} invalidations, build replay: {}",
+                r.cache.module_hits,
+                r.cache.module_misses,
+                r.cache.invalidations,
+                if r.cache.build_hits > 0 { "yes" } else { "no" }
+            );
+        }
         for phase in &r.phases {
             println!(
                 "  phase {:indent$}{}: {} work units",

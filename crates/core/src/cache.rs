@@ -1,0 +1,648 @@
+//! Persistent incremental-compilation cache over the content-addressed
+//! NAIM repository.
+//!
+//! The cache lives in a directory (`cmocc --cache-dir DIR`) holding two
+//! files:
+//!
+//! * `repo.naim` — a versioned, checksummed [`Repository`] of
+//!   relocatable pool images, each a compacted [`CacheEntry`]
+//!   (a front-end IL object, a linked machine image, or a stored
+//!   compile report);
+//! * `manifest.tsv` — a text index mapping cache keys (module and
+//!   build fingerprints) to the content hashes of their entries.
+//!
+//! Entries are rehydrated through the ordinary NAIM eager-swizzling
+//! path: the cache registers the stored pool image with its private
+//! [`Loader`] via [`Loader::insert_offloaded`] and fetches it like any
+//! offloaded pool. Any repository error on the way back — a short
+//! read, a CRC mismatch, a stale index — degrades to a cache miss with
+//! an `"invalidate"` trace event and a full recompilation of the
+//! affected module; a corrupt cache can cost time, never correctness.
+//!
+//! # Determinism
+//!
+//! All cache probes and stores happen on the driver's main thread in
+//! module input order, so traces and reports stay byte-identical at
+//! every `-j` worker count. A warm full-build hit replays the *cold*
+//! run's stored [`CompileReport`] verbatim, which is what makes
+//! `--report-json` byte-identical between cold and warm builds.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::path::{Path, PathBuf};
+
+use cmo_ir::IlObject;
+use cmo_naim::{
+    ContentHash, DecodeError, Decoder, Encoder, Loader, NaimConfig, NaimError, PoolKind,
+    Relocatable, Repository,
+};
+use cmo_telemetry::{Telemetry, TraceEvent};
+use cmo_vm::MachineImage;
+
+use crate::driver::{BuildOptions, OptLevel};
+use crate::report::CompileReport;
+
+/// Cache format epoch. Bumped whenever fingerprint inputs, the entry
+/// encoding, or the manifest layout change, so stale caches from
+/// earlier compiler builds miss cleanly instead of decoding garbage.
+pub const CACHE_FORMAT: u32 = 1;
+
+/// First line of `manifest.tsv`.
+const MANIFEST_SCHEMA: &str = "cmo.cache.v1";
+
+/// Counters for cache activity during one build, surfaced in the
+/// `cache` section of the unified report.
+///
+/// Only counters that are identical between a cold run and the warm
+/// run that replays it *at the moment the report is stored* live here;
+/// store events are visible in the trace instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Whether a cache directory was attached to this build at all.
+    pub enabled: bool,
+    /// Module-scope probes satisfied from the cache (front end skipped).
+    pub module_hits: u64,
+    /// Module-scope probes that missed and recompiled.
+    pub module_misses: u64,
+    /// Whole-build probes satisfied from the cache (image + report
+    /// replayed, HLO/LLO/link skipped).
+    pub build_hits: u64,
+    /// Entries discarded because they could not be fetched back intact
+    /// (truncation, CRC mismatch, dangling manifest line).
+    pub invalidations: u64,
+}
+
+/// One value stored in the cache repository.
+///
+/// The discriminant byte leads the relocatable image so a manifest
+/// line pointing at the wrong kind of record is detected and
+/// invalidated rather than misinterpreted.
+#[derive(Debug, Clone)]
+pub enum CacheEntry {
+    /// A front-end output: one module's IL object.
+    Object(IlObject),
+    /// A fully linked machine image for a whole build.
+    Image(MachineImage),
+    /// The unified compile report stored next to an image.
+    Report(CompileReport),
+}
+
+const TAG_OBJECT: u8 = 1;
+const TAG_IMAGE: u8 = 2;
+const TAG_REPORT: u8 = 3;
+
+impl Relocatable for CacheEntry {
+    fn compact(&self, enc: &mut Encoder) {
+        match self {
+            CacheEntry::Object(obj) => {
+                enc.write_u8(TAG_OBJECT);
+                enc.write_bytes(&obj.to_bytes());
+            }
+            CacheEntry::Image(image) => {
+                enc.write_u8(TAG_IMAGE);
+                image.encode(enc);
+            }
+            CacheEntry::Report(report) => {
+                enc.write_u8(TAG_REPORT);
+                report.encode(enc);
+            }
+        }
+    }
+
+    fn uncompact(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let offset = dec.position();
+        match dec.read_u8()? {
+            TAG_OBJECT => {
+                let bytes = dec.read_bytes()?;
+                let obj = IlObject::from_bytes(bytes).map_err(|_| DecodeError::Corrupt {
+                    what: "cached IL object failed to decode",
+                })?;
+                Ok(CacheEntry::Object(obj))
+            }
+            TAG_IMAGE => Ok(CacheEntry::Image(MachineImage::decode(dec)?)),
+            TAG_REPORT => Ok(CacheEntry::Report(CompileReport::decode(dec)?)),
+            tag => Err(DecodeError::BadTag { tag, offset }),
+        }
+    }
+
+    fn expanded_bytes(&self) -> usize {
+        match self {
+            CacheEntry::Object(obj) => obj.to_bytes().len(),
+            CacheEntry::Image(image) => image.approx_bytes(),
+            CacheEntry::Report(report) => std::mem::size_of_val(report),
+        }
+    }
+}
+
+/// Outcome of a raw manifest + repository probe.
+enum Fetched {
+    /// Entry came back intact; payload size on disk in bytes.
+    Hit(Box<CacheEntry>, u64),
+    /// No manifest line for the key.
+    Missing,
+    /// Manifest line existed but the entry could not be fetched intact;
+    /// the line has been dropped.
+    Invalid,
+}
+
+/// A persistent build cache rooted at a directory.
+///
+/// Opened by `cmocc --cache-dir` (or [`BuildCache::open`] directly),
+/// consulted by [`crate::Compiler::add_sources_cached`] for per-module
+/// front-end reuse and by [`crate::build_objects_cached`] for
+/// whole-build replay, and flushed with [`BuildCache::persist`].
+#[derive(Debug)]
+pub struct BuildCache {
+    dir: PathBuf,
+    loader: Loader<CacheEntry, File>,
+    manifest: BTreeMap<String, ContentHash>,
+    stats: CacheStats,
+}
+
+impl BuildCache {
+    /// Opens (or creates) the cache rooted at `dir`.
+    ///
+    /// A repository written by an older format version, or one whose
+    /// header fails validation, is discarded and recreated fresh — an
+    /// incompatible cache is worth nothing, and silently decoding it
+    /// would be worse.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for real I/O failures (unwritable
+    /// directory, permission problems) — never for stale or corrupt
+    /// cache *content*.
+    pub fn open<P: AsRef<Path>>(dir: P) -> Result<BuildCache, NaimError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let repo_path = dir.join("repo.naim");
+        let (repo, fresh) = match Repository::open_or_create(&repo_path) {
+            Ok(repo) => (repo, false),
+            Err(NaimError::Repository(e)) => return Err(NaimError::Repository(e)),
+            // Header/version/decode problems: the cache is from another
+            // era. Start over.
+            Err(_) => (Repository::create(&repo_path)?, true),
+        };
+        let manifest = if fresh {
+            BTreeMap::new()
+        } else {
+            read_manifest(&dir.join("manifest.tsv"))
+        };
+        Ok(BuildCache {
+            dir,
+            loader: Loader::with_repository(NaimConfig::disabled(), repo),
+            manifest,
+            stats: CacheStats {
+                enabled: true,
+                ..CacheStats::default()
+            },
+        })
+    }
+
+    /// The directory this cache lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Snapshot of the per-build cache counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of records in the underlying repository (tests/bench).
+    #[must_use]
+    pub fn record_count(&self) -> usize {
+        self.loader.repository().record_count()
+    }
+
+    /// Probes the cache for a module's front-end output.
+    ///
+    /// Emits a module-scope `"hit"`, `"miss"`, or `"invalidate"` trace
+    /// event; an invalidated entry also counts as a miss because the
+    /// module will be recompiled.
+    pub fn get_module(&mut self, module: &str, fp: &str, tel: &Telemetry) -> Option<IlObject> {
+        match self.fetch(&format!("mod:{fp}")) {
+            Fetched::Hit(entry, bytes) => match *entry {
+                CacheEntry::Object(obj) => {
+                    self.stats.module_hits += 1;
+                    emit(tel, "hit", "module", module, bytes);
+                    Some(obj)
+                }
+                _ => {
+                    self.manifest.remove(&format!("mod:{fp}"));
+                    self.stats.invalidations += 1;
+                    self.stats.module_misses += 1;
+                    emit(tel, "invalidate", "module", module, bytes);
+                    None
+                }
+            },
+            Fetched::Missing => {
+                self.stats.module_misses += 1;
+                emit(tel, "miss", "module", module, 0);
+                None
+            }
+            Fetched::Invalid => {
+                self.stats.invalidations += 1;
+                self.stats.module_misses += 1;
+                emit(tel, "invalidate", "module", module, 0);
+                None
+            }
+        }
+    }
+
+    /// Stores a module's front-end output under its fingerprint.
+    ///
+    /// Storing never fails the build: an unwritable repository leaves
+    /// the cache cold for the next run, nothing more.
+    pub fn put_module(&mut self, module: &str, fp: &str, obj: &IlObject, tel: &Telemetry) {
+        if let Some(bytes) = self.store(format!("mod:{fp}"), &CacheEntry::Object(obj.clone())) {
+            emit(tel, "store", "module", module, bytes);
+        }
+    }
+
+    /// Probes the cache for a whole build: the linked image plus the
+    /// stored report. Both must come back intact for a hit.
+    pub fn get_build(
+        &mut self,
+        key: &str,
+        tel: &Telemetry,
+    ) -> Option<(MachineImage, CompileReport)> {
+        let image = match self.fetch(&format!("img:{key}")) {
+            Fetched::Hit(entry, bytes) => match *entry {
+                CacheEntry::Image(image) => Some((image, bytes)),
+                _ => {
+                    self.manifest.remove(&format!("img:{key}"));
+                    self.stats.invalidations += 1;
+                    emit(tel, "invalidate", "build", key, 0);
+                    None
+                }
+            },
+            Fetched::Invalid => {
+                self.manifest.remove(&format!("img:{key}"));
+                self.stats.invalidations += 1;
+                emit(tel, "invalidate", "build", key, 0);
+                None
+            }
+            Fetched::Missing => None,
+        };
+        let report = match self.fetch(&format!("rpt:{key}")) {
+            Fetched::Hit(entry, bytes) => match *entry {
+                CacheEntry::Report(report) => Some((report, bytes)),
+                _ => {
+                    self.manifest.remove(&format!("rpt:{key}"));
+                    self.stats.invalidations += 1;
+                    emit(tel, "invalidate", "build", key, 0);
+                    None
+                }
+            },
+            Fetched::Invalid => {
+                self.manifest.remove(&format!("rpt:{key}"));
+                self.stats.invalidations += 1;
+                emit(tel, "invalidate", "build", key, 0);
+                None
+            }
+            Fetched::Missing => None,
+        };
+        match (image, report) {
+            (Some((image, ib)), Some((report, rb))) => {
+                self.stats.build_hits += 1;
+                emit(tel, "hit", "build", key, ib + rb);
+                Some((image, report))
+            }
+            _ => {
+                emit(tel, "miss", "build", key, 0);
+                None
+            }
+        }
+    }
+
+    /// Stores a whole build's image and report under the build key.
+    pub fn put_build(
+        &mut self,
+        key: &str,
+        image: &MachineImage,
+        report: &CompileReport,
+        tel: &Telemetry,
+    ) {
+        let ib = self.store(format!("img:{key}"), &CacheEntry::Image(image.clone()));
+        let rb = self.store(format!("rpt:{key}"), &CacheEntry::Report(report.clone()));
+        if let (Some(ib), Some(rb)) = (ib, rb) {
+            emit(tel, "store", "build", key, ib + rb);
+        }
+    }
+
+    /// Flushes the repository index segment and rewrites the manifest
+    /// atomically (write to a temp file, then rename into place), so a
+    /// process killed mid-persist leaves the previous manifest intact.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the cache directory is no
+    /// longer writable.
+    pub fn persist(&mut self) -> Result<(), NaimError> {
+        self.loader.repository_mut().flush_index()?;
+        let mut text = String::with_capacity(64 * (1 + self.manifest.len()));
+        text.push_str(MANIFEST_SCHEMA);
+        text.push('\n');
+        for (key, hash) in &self.manifest {
+            text.push_str(key);
+            text.push('\t');
+            text.push_str(&hash.to_hex());
+            text.push('\n');
+        }
+        let tmp = self.dir.join("manifest.tsv.tmp");
+        std::fs::write(&tmp, &text)?;
+        std::fs::rename(&tmp, self.dir.join("manifest.tsv"))?;
+        Ok(())
+    }
+
+    fn fetch(&mut self, key: &str) -> Fetched {
+        let Some(&hash) = self.manifest.get(key) else {
+            return Fetched::Missing;
+        };
+        let Some(handle) = self.loader.repository().lookup(hash) else {
+            self.manifest.remove(key);
+            return Fetched::Invalid;
+        };
+        let bytes = handle.len() as u64;
+        let pid = self.loader.insert_offloaded(handle, PoolKind::Ir);
+        match self.loader.get(pid) {
+            Ok(entry) => Fetched::Hit(Box::new(entry.clone()), bytes),
+            Err(_) => {
+                self.manifest.remove(key);
+                Fetched::Invalid
+            }
+        }
+    }
+
+    /// Compacts and stores `entry`, returning the payload size, or
+    /// `None` when the repository refused the write.
+    fn store(&mut self, key: String, entry: &CacheEntry) -> Option<u64> {
+        let mut enc = Encoder::with_capacity(1024);
+        entry.compact(&mut enc);
+        let image = enc.into_bytes();
+        let handle = self.loader.repository_mut().store(&image).ok()?;
+        let hash = self.loader.repository().hash_of(handle)?;
+        self.manifest.insert(key, hash);
+        Some(handle.len() as u64)
+    }
+}
+
+fn emit(tel: &Telemetry, action: &'static str, scope: &'static str, name: &str, bytes: u64) {
+    tel.emit(TraceEvent::Cache {
+        action,
+        scope,
+        name: name.to_owned(),
+        bytes,
+    });
+}
+
+fn read_manifest(path: &Path) -> BTreeMap<String, ContentHash> {
+    let mut manifest = BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return manifest;
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(MANIFEST_SCHEMA) {
+        return manifest;
+    }
+    for line in lines {
+        let Some((key, hex)) = line.split_once('\t') else {
+            continue;
+        };
+        let Some(hash) = ContentHash::from_hex(hex) else {
+            continue;
+        };
+        manifest.insert(key.to_owned(), hash);
+    }
+    manifest
+}
+
+/// Fingerprint of an MLC source module: covers the module name, the
+/// exact source text, and the cache format epoch.
+#[must_use]
+pub fn module_fingerprint(module: &str, source: &str) -> String {
+    let mut enc = Encoder::with_capacity(source.len() + 64);
+    enc.write_u32(CACHE_FORMAT);
+    enc.write_str("mlc-src");
+    enc.write_str(module);
+    enc.write_str(source);
+    ContentHash::of(&enc.into_bytes()).to_hex()
+}
+
+/// Fingerprint of a pre-compiled IL object: covers its serialized
+/// bytes, so any front-end change that alters the object re-keys it.
+#[must_use]
+pub fn object_fingerprint(module: &str, bytes: &[u8]) -> String {
+    let mut enc = Encoder::with_capacity(bytes.len() + 64);
+    enc.write_u32(CACHE_FORMAT);
+    enc.write_str("il-obj");
+    enc.write_str(module);
+    enc.write_bytes(bytes);
+    ContentHash::of(&enc.into_bytes()).to_hex()
+}
+
+/// Digest of every build option that can change the produced image or
+/// report.
+///
+/// `jobs` and NAIM `shards` are deliberately *excluded*: the pipeline
+/// produces byte-identical output at every worker and shard count, so
+/// a cache populated at `-j4` must hit at `-j1`. The profile database
+/// participates through its full serialized content (its epoch), so
+/// re-profiling invalidates every profile-sensitive entry.
+#[must_use]
+pub fn options_signature(options: &BuildOptions) -> String {
+    let mut enc = Encoder::with_capacity(256);
+    enc.write_u32(CACHE_FORMAT);
+    enc.write_str("opts");
+    enc.write_u8(match options.level {
+        OptLevel::O1 => 1,
+        OptLevel::O2 => 2,
+        OptLevel::O4 => 4,
+    });
+    enc.write_bool(options.pbo);
+    enc.write_bool(options.instrument);
+    match options.selectivity {
+        Some(pct) => {
+            enc.write_bool(true);
+            enc.write_f64(pct);
+        }
+        None => enc.write_bool(false),
+    }
+    enc.write_bool(options.layered);
+    let i = &options.inline;
+    enc.write_u32(i.small_callee_il);
+    enc.write_u64(i.hot_site_min_count);
+    enc.write_u32(i.hot_callee_il);
+    enc.write_f64(i.hot_site_dominance);
+    enc.write_u32(i.caller_growth_cap);
+    enc.write_u32(i.max_passes);
+    match i.op_limit {
+        Some(limit) => {
+            enc.write_bool(true);
+            enc.write_u64(limit);
+        }
+        None => enc.write_bool(false),
+    }
+    match &i.targets {
+        Some(targets) => {
+            enc.write_bool(true);
+            enc.write_usize(targets.len());
+            for id in targets {
+                enc.write_u32(id.0);
+            }
+        }
+        None => enc.write_bool(false),
+    }
+    let n = &options.naim;
+    enc.write_usize(n.budget_bytes);
+    match n.hard_limit_bytes {
+        Some(limit) => {
+            enc.write_bool(true);
+            enc.write_usize(limit);
+        }
+        None => enc.write_bool(false),
+    }
+    enc.write_u8(n.max_level as u8);
+    enc.write_f64(n.thresholds.ir_compaction);
+    enc.write_f64(n.thresholds.st_compaction);
+    enc.write_f64(n.thresholds.offload);
+    enc.write_usize(n.cache_pools);
+    enc.write_u64(n.compact_cost_per_byte);
+    enc.write_u64(n.disk_cost_per_byte);
+    match &options.profile {
+        Some(db) => {
+            enc.write_bool(true);
+            enc.write_bytes(&db.to_bytes());
+        }
+        None => enc.write_bool(false),
+    }
+    ContentHash::of(&enc.into_bytes()).to_hex()
+}
+
+/// Key for a whole build: the ordered module fingerprints plus the
+/// options signature. Any dirty module, added module, removed module,
+/// reordering, option change, or profile change produces a new key.
+#[must_use]
+pub fn build_key(module_fps: &[String], options: &BuildOptions) -> String {
+    let mut enc = Encoder::with_capacity(64 + module_fps.len() * 36);
+    enc.write_u32(CACHE_FORMAT);
+    enc.write_str("build");
+    enc.write_usize(module_fps.len());
+    for fp in module_fps {
+        enc.write_str(fp);
+    }
+    enc.write_str(&options_signature(options));
+    ContentHash::of(&enc.into_bytes()).to_hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cmo-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_object() -> IlObject {
+        cmo_frontend::compile_module("m", "fn main() -> int { return 7; }").expect("compiles")
+    }
+
+    #[test]
+    fn module_round_trip_survives_reopen() {
+        let dir = tmpdir("module-rt");
+        let tel = Telemetry::disabled();
+        let obj = small_object();
+        let fp = module_fingerprint("m", "fn main() -> int { return 7; }");
+        {
+            let mut cache = BuildCache::open(&dir).expect("open");
+            assert!(cache.get_module("m", &fp, &tel).is_none());
+            cache.put_module("m", &fp, &obj, &tel);
+            cache.persist().expect("persist");
+        }
+        let mut cache = BuildCache::open(&dir).expect("reopen");
+        let back = cache.get_module("m", &fp, &tel).expect("warm hit");
+        assert_eq!(back.to_bytes(), obj.to_bytes());
+        assert_eq!(cache.stats().module_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprints_separate_source_name_and_options() {
+        let a = module_fingerprint("m", "fn f() -> int { return 1; }");
+        let b = module_fingerprint("m", "fn f() -> int { return 2; }");
+        let c = module_fingerprint("n", "fn f() -> int { return 1; }");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+
+        let o1 = BuildOptions::new(OptLevel::O4);
+        let mut o2 = BuildOptions::new(OptLevel::O4);
+        o2.inline.small_callee_il += 1;
+        assert_ne!(options_signature(&o1), options_signature(&o2));
+        // jobs must NOT participate: warm hits work across -j.
+        let mut o3 = BuildOptions::new(OptLevel::O4);
+        o3.jobs = 4;
+        assert_eq!(options_signature(&o1), options_signature(&o3));
+    }
+
+    #[test]
+    fn corrupt_entry_invalidates_and_misses() {
+        let dir = tmpdir("corrupt");
+        let tel = Telemetry::disabled();
+        let obj = small_object();
+        let fp = module_fingerprint("m", "src");
+        {
+            let mut cache = BuildCache::open(&dir).expect("open");
+            cache.put_module("m", &fp, &obj, &tel);
+            cache.persist().expect("persist");
+        }
+        // Flip a byte in the stored payload (past the header region).
+        let repo = dir.join("repo.naim");
+        let mut bytes = std::fs::read(&repo).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&repo, &bytes).expect("write");
+
+        let mut cache = BuildCache::open(&dir).expect("reopen");
+        assert!(cache.get_module("m", &fp, &tel).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations + stats.module_misses, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatched_cache_is_recreated() {
+        let dir = tmpdir("version");
+        let tel = Telemetry::disabled();
+        {
+            let mut cache = BuildCache::open(&dir).expect("open");
+            cache.put_module("m", "fp", &small_object(), &tel);
+            cache.persist().expect("persist");
+        }
+        let repo = dir.join("repo.naim");
+        let mut bytes = std::fs::read(&repo).expect("read");
+        bytes[8] = 0xEE; // clobber the format version field
+        std::fs::write(&repo, &bytes).expect("write");
+
+        let mut cache = BuildCache::open(&dir).expect("recreate");
+        assert_eq!(cache.record_count(), 0);
+        assert!(cache.get_module("m", "fp", &tel).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn identical_builds_share_one_record() {
+        let dir = tmpdir("dedup");
+        let tel = Telemetry::disabled();
+        let obj = small_object();
+        let mut cache = BuildCache::open(&dir).expect("open");
+        cache.put_module("m", "fp1", &obj, &tel);
+        cache.put_module("m", "fp2", &obj, &tel);
+        assert_eq!(cache.record_count(), 1, "content-addressing dedups");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,7 +1,9 @@
 //! The compilation driver: HP-UX-style option levels over the full
 //! pipeline.
 
+use crate::cache::{self, BuildCache, CacheStats};
 use crate::parallel::run_jobs;
+use crate::report::CompileReport;
 use cmo_frontend::FrontendError;
 use cmo_hlo::{
     fold_globals, inline_pass, CallGraph, GlobalFacts, HloSession, HloStats, InlineOptions,
@@ -243,9 +245,16 @@ pub struct BuildReport {
     pub compile_work: u64,
     /// Final image size in instructions.
     pub image_instrs: usize,
+    /// Incremental-cache counters for this build (zeros when no cache
+    /// was attached).
+    pub cache: CacheStats,
     /// Hierarchical phase timers recorded by the build's telemetry
     /// sink. Empty when telemetry was disabled.
     pub phases: Vec<PhaseRecord>,
+    /// On a warm whole-build cache hit, the cold run's stored unified
+    /// report, replayed verbatim so `--report-json` output is
+    /// byte-identical between cold and warm builds.
+    pub replayed: Option<CompileReport>,
 }
 
 /// A finished build: the executable image plus its report.
@@ -288,6 +297,9 @@ impl BuildOutput {
     /// the per-crate stats structs.
     #[must_use]
     pub fn compile_report(&self) -> crate::CompileReport {
+        if let Some(replayed) = &self.report.replayed {
+            return replayed.clone();
+        }
         crate::CompileReport::from_build(&self.report)
     }
 }
@@ -296,6 +308,9 @@ impl BuildOutput {
 #[derive(Debug, Clone, Default)]
 pub struct Compiler {
     objects: Vec<IlObject>,
+    /// Per-module content fingerprints, parallel to `objects`, used as
+    /// incremental-cache keys.
+    fingerprints: Vec<String>,
 }
 
 impl Compiler {
@@ -312,6 +327,8 @@ impl Compiler {
     /// Returns frontend diagnostics.
     pub fn add_source(&mut self, module: &str, source: &str) -> Result<(), BuildError> {
         let obj = cmo_frontend::compile_module(module, source)?;
+        self.fingerprints
+            .push(cache::module_fingerprint(module, source));
         self.objects.push(obj);
         Ok(())
     }
@@ -334,15 +351,69 @@ impl Compiler {
         let objects = run_jobs(modules.len(), jobs.max(1), |_, i| {
             cmo_frontend::compile_module(&modules[i].0, &modules[i].1)
         });
-        for obj in objects {
+        for (obj, (module, source)) in objects.into_iter().zip(modules) {
+            self.fingerprints
+                .push(cache::module_fingerprint(module, source));
             self.objects.push(obj?);
         }
         Ok(())
     }
 
+    /// Like [`Compiler::add_sources`], but consults `cache` first:
+    /// modules whose fingerprint hits skip the front end entirely and
+    /// reuse the cached IL object; misses compile over `jobs` workers
+    /// and are stored for next time. All cache traffic happens on the
+    /// calling thread in batch order, so traces stay deterministic at
+    /// every job count. Returns the number of cache hits.
+    ///
+    /// # Errors
+    ///
+    /// Returns frontend diagnostics for the recompiled modules.
+    pub fn add_sources_cached(
+        &mut self,
+        modules: &[(String, String)],
+        jobs: usize,
+        bcache: &mut BuildCache,
+        tel: &Telemetry,
+    ) -> Result<usize, BuildError> {
+        let base = self.objects.len();
+        let mut slots: Vec<Option<IlObject>> = Vec::with_capacity(modules.len());
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, (module, source)) in modules.iter().enumerate() {
+            let fp = cache::module_fingerprint(module, source);
+            match bcache.get_module(module, &fp, tel) {
+                Some(obj) => slots.push(Some(obj)),
+                None => {
+                    slots.push(None);
+                    misses.push(i);
+                }
+            }
+            self.fingerprints.push(fp);
+        }
+        let hits = modules.len() - misses.len();
+        let compiled = run_jobs(misses.len(), jobs.max(1), |_, k| {
+            let (module, source) = &modules[misses[k]];
+            cmo_frontend::compile_module(module, source)
+        });
+        for (k, obj) in compiled.into_iter().enumerate() {
+            slots[misses[k]] = Some(obj?);
+        }
+        for (i, slot) in slots.into_iter().enumerate() {
+            let obj = slot.expect("every slot filled by hit or compile");
+            if misses.binary_search(&i).is_ok() {
+                let (module, _) = &modules[i];
+                bcache.put_module(module, &self.fingerprints[base + i], &obj, tel);
+            }
+            self.objects.push(obj);
+        }
+        Ok(hits)
+    }
+
     /// Adds a pre-compiled IL object (e.g. read back from disk, the
     /// `make` flow of §6.1).
     pub fn add_object(&mut self, obj: IlObject) {
+        self.fingerprints
+            .push(cache::object_fingerprint(&obj.module_name, &obj.to_bytes()));
         self.objects.push(obj);
     }
 
@@ -360,6 +431,34 @@ impl Compiler {
     /// missing `main`.
     pub fn build(&self, options: &BuildOptions) -> Result<BuildOutput, BuildError> {
         build_objects(self.objects.clone(), options)
+    }
+
+    /// Like [`Compiler::build`], but consults `bcache` for a
+    /// whole-build replay first and stores the result on a miss. See
+    /// [`build_objects_cached`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Compiler::build`]; additionally propagates cache
+    /// persistence I/O failures.
+    pub fn build_cached(
+        &self,
+        options: &BuildOptions,
+        bcache: &mut BuildCache,
+    ) -> Result<BuildOutput, BuildError> {
+        build_objects_cached(
+            self.objects.clone(),
+            &self.fingerprints,
+            options,
+            Some(bcache),
+        )
+    }
+
+    /// The per-module content fingerprints, parallel to the added
+    /// objects.
+    #[must_use]
+    pub fn fingerprints(&self) -> &[String] {
+        &self.fingerprints
     }
 }
 
@@ -682,6 +781,77 @@ pub fn build_objects(
     report.image_instrs = image.code_size();
     report.phases = tel.phases();
     Ok(BuildOutput { image, report })
+}
+
+/// [`build_objects`] with an optional incremental cache.
+///
+/// With a cache attached, the driver derives a whole-build key from
+/// the per-module fingerprints (`module_fps`, parallel to `objects`)
+/// and the options signature. On a hit, the linked image and the cold
+/// run's stored unified report come straight from the cache — HLO,
+/// LLO, and linking are skipped entirely and a build-scope `"replay"`
+/// trace event records the shortcut. On a miss the build runs
+/// normally and its image and report are stored for next time.
+///
+/// Cached and uncached builds of the same inputs produce
+/// byte-identical images; warm and cold `--report-json` documents are
+/// byte-identical because the warm run replays the stored report
+/// instead of recomputing one.
+///
+/// # Errors
+///
+/// See [`build_objects`]; additionally propagates cache persistence
+/// I/O failures as [`BuildError::Naim`].
+pub fn build_objects_cached(
+    objects: Vec<IlObject>,
+    module_fps: &[String],
+    options: &BuildOptions,
+    bcache: Option<&mut BuildCache>,
+) -> Result<BuildOutput, BuildError> {
+    let Some(bcache) = bcache else {
+        return build_objects(objects, options);
+    };
+    let tel = options.telemetry.clone();
+    debug_assert_eq!(
+        module_fps.len(),
+        objects.len(),
+        "one fingerprint per object"
+    );
+    let key = cache::build_key(module_fps, options);
+    if let Some((image, stored)) = bcache.get_build(&key, &tel) {
+        tel.emit(TraceEvent::Cache {
+            action: "replay",
+            scope: "build",
+            name: key.clone(),
+            bytes: 0,
+        });
+        let report = BuildReport {
+            cmo_modules: stored.cmo_modules,
+            total_modules: stored.total_modules,
+            cmo_loc: stored.cmo_loc,
+            total_loc: stored.total_loc,
+            hlo: stored.hlo,
+            loader: stored.loader,
+            peak_memory: stored.memory,
+            llo_peak_bytes: stored.llo_peak_bytes,
+            compile_work: stored.compile_work,
+            image_instrs: stored.image_instrs,
+            cache: bcache.stats(),
+            phases: stored.phases.clone(),
+            replayed: Some(stored),
+        };
+        bcache.persist().map_err(BuildError::Naim)?;
+        return Ok(BuildOutput { image, report });
+    }
+    let mut out = build_objects(objects, options)?;
+    // Snapshot the cache counters *before* building the report that
+    // gets stored, so the stored report equals the one this cold run
+    // emits — the warm replay then matches byte for byte.
+    out.report.cache = bcache.stats();
+    let stored = CompileReport::from_build(&out.report);
+    bcache.put_build(&key, &out.image, &stored, &tel);
+    bcache.persist().map_err(BuildError::Naim)?;
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -49,14 +49,20 @@
 //! # }
 //! ```
 
+mod cache;
 mod driver;
 mod isolate;
 mod parallel;
 mod project;
 mod report;
 
+pub use cache::{
+    build_key, module_fingerprint, object_fingerprint, options_signature, BuildCache, CacheEntry,
+    CacheStats, CACHE_FORMAT,
+};
 pub use driver::{
-    build_objects, BuildError, BuildOptions, BuildOutput, BuildReport, Compiler, OptLevel,
+    build_objects, build_objects_cached, BuildError, BuildOptions, BuildOutput, BuildReport,
+    Compiler, OptLevel,
 };
 pub use isolate::{isolate_faulty_op, IsolationReport};
 pub use parallel::{default_jobs, run_jobs};

@@ -13,9 +13,10 @@
 //! strings, and the work-unit clock — never wall time — so two
 //! identical compilations serialize byte-identically.
 
+use crate::cache::CacheStats;
 use crate::driver::BuildReport;
 use cmo_hlo::HloStats;
-use cmo_naim::{LoaderStats, MemClass, MemorySnapshot};
+use cmo_naim::{DecodeError, Decoder, Encoder, LoaderStats, MemClass, MemorySnapshot};
 use cmo_telemetry::json::JsonWriter;
 use cmo_telemetry::{PhaseRecord, REPORT_SCHEMA};
 
@@ -43,6 +44,9 @@ pub struct CompileReport {
     pub compile_work: u64,
     /// Final image size in machine instructions.
     pub image_instrs: usize,
+    /// Incremental-cache activity for this build (all zeros with the
+    /// cache disabled).
+    pub cache: CacheStats,
     /// Hierarchical phase timers on the work-unit clock.
     pub phases: Vec<PhaseRecord>,
 }
@@ -76,6 +80,7 @@ impl CompileReport {
             llo_peak_bytes: report.llo_peak_bytes,
             compile_work: report.compile_work,
             image_instrs: report.image_instrs,
+            cache: report.cache,
             phases: report.phases.clone(),
         }
     }
@@ -161,6 +166,14 @@ impl CompileReport {
         w.field_u64("compile_work", self.compile_work);
         w.end_obj();
 
+        w.begin_obj(Some("cache"));
+        w.field_bool("enabled", self.cache.enabled);
+        w.field_u64("module_hits", self.cache.module_hits);
+        w.field_u64("module_misses", self.cache.module_misses);
+        w.field_u64("build_hits", self.cache.build_hits);
+        w.field_u64("invalidations", self.cache.invalidations);
+        w.end_obj();
+
         w.begin_arr(Some("phases"));
         for phase in &self.phases {
             w.begin_obj(None);
@@ -174,6 +187,133 @@ impl CompileReport {
 
         w.end_obj();
         w.finish()
+    }
+
+    /// Serializes the report to the cache's relocatable byte form.
+    ///
+    /// `wall_nanos` is deliberately dropped, exactly as in the JSON
+    /// form: a replayed report must be indistinguishable from the cold
+    /// run's, and wall time never is.
+    pub(crate) fn encode(&self, enc: &mut Encoder) {
+        enc.write_usize(self.cmo_modules);
+        enc.write_usize(self.total_modules);
+        enc.write_u64(self.cmo_loc);
+        enc.write_u64(self.total_loc);
+        enc.write_u64(self.hlo.inlines);
+        enc.write_u64(self.hlo.sites_considered);
+        enc.write_u64(self.hlo.globals_folded);
+        enc.write_u64(self.hlo.dead_stores_removed);
+        enc.write_u64(self.hlo.dead_routines);
+        enc.write_u64(self.hlo.clones);
+        enc.write_u64(self.loader.pools);
+        enc.write_u64(self.loader.hits);
+        enc.write_u64(self.loader.cache_rescues);
+        enc.write_u64(self.loader.uncompactions);
+        enc.write_u64(self.loader.compactions);
+        enc.write_u64(self.loader.offload_writes);
+        enc.write_u64(self.loader.offload_reads);
+        enc.write_u64(self.loader.bytes_swizzled);
+        enc.write_u64(self.loader.bytes_offloaded);
+        enc.write_u64(self.loader.work_units);
+        for v in self.memory.current {
+            enc.write_usize(v);
+        }
+        for v in self.memory.peak {
+            enc.write_usize(v);
+        }
+        enc.write_usize(self.memory.peak_total);
+        enc.write_usize(self.llo_peak_bytes);
+        enc.write_u64(self.compile_work);
+        enc.write_usize(self.image_instrs);
+        enc.write_bool(self.cache.enabled);
+        enc.write_u64(self.cache.module_hits);
+        enc.write_u64(self.cache.module_misses);
+        enc.write_u64(self.cache.build_hits);
+        enc.write_u64(self.cache.invalidations);
+        enc.write_usize(self.phases.len());
+        for phase in &self.phases {
+            enc.write_str(&phase.name);
+            enc.write_u32(phase.depth);
+            enc.write_u64(phase.start_work);
+            enc.write_u64(phase.end_work);
+        }
+    }
+
+    /// Rebuilds a report from its relocatable byte form. `wall_nanos`
+    /// comes back zero on every phase record (it is never stored).
+    pub(crate) fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let cmo_modules = dec.read_usize()?;
+        let total_modules = dec.read_usize()?;
+        let cmo_loc = dec.read_u64()?;
+        let total_loc = dec.read_u64()?;
+        let hlo = HloStats {
+            inlines: dec.read_u64()?,
+            sites_considered: dec.read_u64()?,
+            globals_folded: dec.read_u64()?,
+            dead_stores_removed: dec.read_u64()?,
+            dead_routines: dec.read_u64()?,
+            clones: dec.read_u64()?,
+        };
+        let loader = LoaderStats {
+            pools: dec.read_u64()?,
+            hits: dec.read_u64()?,
+            cache_rescues: dec.read_u64()?,
+            uncompactions: dec.read_u64()?,
+            compactions: dec.read_u64()?,
+            offload_writes: dec.read_u64()?,
+            offload_reads: dec.read_u64()?,
+            bytes_swizzled: dec.read_u64()?,
+            bytes_offloaded: dec.read_u64()?,
+            work_units: dec.read_u64()?,
+        };
+        let mut current = [0usize; 4];
+        for slot in &mut current {
+            *slot = dec.read_usize()?;
+        }
+        let mut peak = [0usize; 4];
+        for slot in &mut peak {
+            *slot = dec.read_usize()?;
+        }
+        let memory = MemorySnapshot {
+            current,
+            peak,
+            peak_total: dec.read_usize()?,
+        };
+        let llo_peak_bytes = dec.read_usize()?;
+        let compile_work = dec.read_u64()?;
+        let image_instrs = dec.read_usize()?;
+        let cache = CacheStats {
+            enabled: dec.read_bool()?,
+            module_hits: dec.read_u64()?,
+            module_misses: dec.read_u64()?,
+            build_hits: dec.read_u64()?,
+            invalidations: dec.read_u64()?,
+        };
+        let n_phases = dec.read_usize()?;
+        let mut phases = Vec::with_capacity(n_phases.min(4096));
+        for _ in 0..n_phases {
+            phases.push(PhaseRecord {
+                name: dec.read_str()?.to_owned(),
+                depth: dec.read_u32()?,
+                start_work: dec.read_u64()?,
+                end_work: dec.read_u64()?,
+                wall_nanos: 0,
+            });
+        }
+        Ok(CompileReport {
+            cmo_modules,
+            total_modules,
+            cmo_loc,
+            total_loc,
+            hlo,
+            loader,
+            memory,
+            llo_peak_bytes,
+            compile_work,
+            image_instrs,
+            cache,
+            phases,
+        })
     }
 }
 
@@ -233,6 +373,7 @@ mod tests {
             "\"llo\"",
             "\"image\"",
             "\"work\"",
+            "\"cache\"",
             "\"phases\"",
         ] {
             assert!(text.contains(section), "missing {section} in {text}");
@@ -243,6 +384,31 @@ mod tests {
             !text.contains("wall") && !text.contains("nanos"),
             "wall time must never reach the JSON report"
         );
+    }
+
+    #[test]
+    fn codec_round_trips_everything_but_wall_time() {
+        let mut r = sample();
+        r.cache = CacheStats {
+            enabled: true,
+            module_hits: 3,
+            module_misses: 1,
+            build_hits: 1,
+            invalidations: 2,
+        };
+        let mut enc = Encoder::new();
+        r.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let back = CompileReport::decode(&mut Decoder::new(&bytes)).expect("decodes");
+        // wall_nanos is dropped by design; everything else survives.
+        let mut expect = r.clone();
+        expect.phases[0].wall_nanos = 0;
+        assert_eq!(back, expect);
+        assert_eq!(back.to_json(), {
+            let mut cold = r;
+            cold.phases[0].wall_nanos = 0;
+            cold.to_json()
+        });
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! End-to-end tests of the persistent incremental cache: cold vs warm
+//! `cmocc --cache-dir` builds must be byte-identical at every `-j`,
+//! clean modules must skip the front end and HLO on warm runs, and a
+//! corrupted cache must fall back to a full recompile — with the same
+//! bytes — instead of producing a garbage image.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use cmo::{BuildCache, BuildOptions, Compiler, OptLevel, Telemetry};
+
+fn cmocc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cmocc"))
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cmocc-incr-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const UTIL: &str = r#"
+global factor: int = 3;
+fn scale(x: int) -> int { return x * factor; }
+"#;
+
+const APP: &str = r#"
+extern fn scale(x: int) -> int;
+fn main() -> int {
+    var i: int = 0;
+    var acc: int = 0;
+    while (i < 50) { acc = acc + scale(i); i = i + 1; }
+    return acc % 1000;
+}
+"#;
+
+fn write_sources(dir: &Path) -> (PathBuf, PathBuf) {
+    let util = dir.join("util.mlc");
+    let app = dir.join("app.mlc");
+    std::fs::write(&util, UTIL).unwrap();
+    std::fs::write(&app, APP).unwrap();
+    (util, app)
+}
+
+/// Runs a `+O4` cached build writing report, trace, and disassembly;
+/// returns (stdout, report json, trace).
+fn build(dir: &Path, cache: &Path, jobs: &str, tag: &str) -> (String, String, String) {
+    let json = dir.join(format!("{tag}.json"));
+    let trace = dir.join(format!("{tag}.trace"));
+    let out = cmocc()
+        .args(["+O4", "-j", jobs, "--cache-dir"])
+        .arg(cache)
+        .args(["--report", "--report-json"])
+        .arg(&json)
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--emit-asm")
+        .args(["--run", "-"])
+        .arg(dir.join("util.mlc"))
+        .arg(dir.join("app.mlc"))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        std::fs::read_to_string(&json).unwrap(),
+        std::fs::read_to_string(&trace).unwrap(),
+    )
+}
+
+/// Strips the "wrote ..." progress lines (temp paths) and the human
+/// report's `cache:` line — the latter deliberately shows the *live*
+/// hit/miss counters of each run, unlike the JSON report, whose cache
+/// section replays the cold run's and stays byte-identical.
+fn stable_output(stdout: &str) -> String {
+    stdout
+        .lines()
+        .filter(|l| !l.starts_with("wrote ") && !l.trim_start().starts_with("cache: "))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn warm_build_replays_cold_build_byte_for_byte_at_any_jobs() {
+    let dir = workdir("replay");
+    write_sources(&dir);
+    let cache = dir.join("cache");
+
+    let (cold_out, cold_json, cold_trace) = build(&dir, &cache, "1", "cold");
+    // Warm at a different job count: identical image (disassembly +
+    // run checksum), identical report JSON.
+    let (warm_out, warm_json, warm_trace) = build(&dir, &cache, "4", "warm");
+    assert_eq!(
+        stable_output(&cold_out),
+        stable_output(&warm_out),
+        "warm image or run output diverged from cold"
+    );
+    assert_eq!(cold_json, warm_json, "warm report JSON diverged from cold");
+
+    // The cold run misses and stores; the warm run hits every module
+    // and replays the whole build.
+    assert!(cold_trace.contains(r#""action":"miss","scope":"module","name":"util""#));
+    assert!(cold_trace.contains(r#""action":"store","scope":"build""#));
+    for module in ["util", "app"] {
+        assert!(
+            warm_trace.contains(&format!(
+                r#""action":"hit","scope":"module","name":"{module}""#
+            )),
+            "no module hit for {module} in warm trace: {warm_trace}"
+        );
+    }
+    assert!(warm_trace.contains(r#""action":"hit","scope":"build""#));
+    assert!(warm_trace.contains(r#""action":"replay","scope":"build""#));
+    // A replayed build runs no optimizer: no pool traffic, no HLO
+    // events in the warm trace.
+    assert!(
+        !warm_trace.contains(r#""event":"pool""#) && !warm_trace.contains(r#""phase":"hlo"#),
+        "warm build still ran the optimizer: {warm_trace}"
+    );
+    // The human-readable report shows the hits.
+    assert!(
+        warm_out.contains("cache: 2 module hits, 0 misses, 0 invalidations, build replay: yes"),
+        "missing cache line: {warm_out}"
+    );
+    // A third run, back at -j1, replays the same bytes again.
+    let (_, third_json, third_trace) = build(&dir, &cache, "1", "third");
+    assert_eq!(cold_json, third_json);
+    assert_eq!(warm_trace, third_trace, "warm traces differ across -j");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn editing_one_module_recompiles_only_that_module() {
+    let dir = workdir("dirty");
+    let (util, _) = write_sources(&dir);
+    let cache = dir.join("cache");
+
+    build(&dir, &cache, "1", "cold");
+    // Touching the file without changing content stays a full hit.
+    std::fs::write(&util, UTIL).unwrap();
+    let (_, _, clean_trace) = build(&dir, &cache, "1", "clean");
+    assert!(clean_trace.contains(r#""action":"replay","scope":"build""#));
+
+    // A real edit dirties util: its module entry misses, app still
+    // hits, and the whole-build key changes so the build re-runs.
+    std::fs::write(&util, UTIL.replace("factor: int = 3", "factor: int = 4")).unwrap();
+    let (out, _, trace) = build(&dir, &cache, "1", "dirty");
+    assert!(trace.contains(r#""action":"miss","scope":"module","name":"util""#));
+    assert!(trace.contains(r#""action":"hit","scope":"module","name":"app""#));
+    assert!(trace.contains(r#""action":"miss","scope":"build""#));
+    assert!(!trace.contains(r#""action":"replay""#));
+    assert!(
+        out.contains("cache: 1 module hits, 1 misses"),
+        "unexpected cache line: {out}"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupted_cache_falls_back_to_identical_full_recompile() {
+    let dir = workdir("corrupt");
+    write_sources(&dir);
+    let cache = dir.join("cache");
+
+    let (cold_out, _, _) = build(&dir, &cache, "1", "cold");
+
+    // Flip one byte in the stored records region of the repository.
+    let repo = cache.join("repo.naim");
+    let mut bytes = std::fs::read(&repo).unwrap();
+    let mid = bytes.len() / 3;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&repo, &bytes).unwrap();
+
+    let (hurt_out, _, hurt_trace) = build(&dir, &cache, "1", "hurt");
+    assert!(
+        hurt_trace.contains(r#""action":"invalidate""#),
+        "no diagnostic invalidate event: {hurt_trace}"
+    );
+    assert_eq!(
+        stable_output(&cold_out),
+        stable_output(&hurt_out),
+        "corrupted cache changed the produced image or run output"
+    );
+
+    // The fallback also re-stored good entries: the next build replays.
+    let (_, _, healed_trace) = build(&dir, &cache, "1", "healed");
+    assert!(healed_trace.contains(r#""action":"replay","scope":"build""#));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn no_cache_conflicts_with_cache_dir() {
+    let dir = workdir("conflict");
+    let (util, _) = write_sources(&dir);
+    let out = cmocc()
+        .args(["--no-cache", "--cache-dir"])
+        .arg(dir.join("cache"))
+        .arg(&util)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--no-cache conflicts"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn api_level_cached_build_replays_and_counts_hits() {
+    let dir = workdir("api");
+    let cache_dir = dir.join("cache");
+    let modules = vec![
+        ("util".to_owned(), UTIL.to_owned()),
+        ("app".to_owned(), APP.to_owned()),
+    ];
+    let options = BuildOptions::new(OptLevel::O4);
+
+    let cold = {
+        let mut cache = BuildCache::open(&cache_dir).unwrap();
+        let mut cc = Compiler::new();
+        let hits = cc
+            .add_sources_cached(&modules, 1, &mut cache, &Telemetry::disabled())
+            .unwrap();
+        assert_eq!(hits, 0);
+        cc.build_cached(&options, &mut cache).unwrap()
+    };
+    let warm = {
+        let mut cache = BuildCache::open(&cache_dir).unwrap();
+        let mut cc = Compiler::new();
+        let hits = cc
+            .add_sources_cached(&modules, 4, &mut cache, &Telemetry::disabled())
+            .unwrap();
+        assert_eq!(hits, 2, "both modules should hit on the warm run");
+        cc.build_cached(&options, &mut cache).unwrap()
+    };
+    assert_eq!(
+        cold.image.to_bytes(),
+        warm.image.to_bytes(),
+        "replayed image differs from the cold build's"
+    );
+    assert_eq!(
+        cold.compile_report().to_json(),
+        warm.compile_report().to_json(),
+        "replayed report differs from the cold build's"
+    );
+    assert_eq!(warm.report.cache.build_hits, 1);
+    assert_eq!(warm.report.cache.module_hits, 2);
+
+    // An uncached build of the same modules produces the same image.
+    let mut cc = Compiler::new();
+    cc.add_sources(&modules, 1).unwrap();
+    let uncached = cc.build(&options).unwrap();
+    assert_eq!(uncached.image.to_bytes(), cold.image.to_bytes());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

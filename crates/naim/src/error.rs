@@ -64,6 +64,37 @@ pub enum NaimError {
         /// The offending pool id (raw index).
         pool: u32,
     },
+    /// The repository file header was missing or malformed.
+    RepoHeader {
+        /// Human-readable description of what was wrong.
+        what: &'static str,
+    },
+    /// The repository file was written by an incompatible format version.
+    RepoVersion {
+        /// The version found in the file header.
+        found: u32,
+        /// The version this build understands.
+        expected: u32,
+    },
+    /// A stored record ended before its declared payload length (short
+    /// read / truncated file).
+    RepoTruncated {
+        /// The repository record id (pool image id) being fetched.
+        record: u32,
+        /// Payload bytes the record header promised.
+        wanted: u64,
+        /// Payload bytes actually present in the backend.
+        got: u64,
+    },
+    /// A stored record's payload failed its CRC integrity check.
+    RepoChecksum {
+        /// The repository record id (pool image id) being fetched.
+        record: u32,
+        /// The CRC recorded when the record was stored.
+        stored: u32,
+        /// The CRC computed over the bytes read back.
+        computed: u32,
+    },
     /// The accounted heap exceeded the hard budget and no NAIM measure
     /// could reclaim enough space (mirrors the paper's 1 GB heap-limit
     /// compile failures when NAIM/selectivity are disabled).
@@ -81,6 +112,29 @@ impl fmt::Display for NaimError {
             NaimError::Decode(e) => write!(f, "decode failure: {e}"),
             NaimError::Repository(e) => write!(f, "repository I/O failure: {e}"),
             NaimError::UnknownPool { pool } => write!(f, "unknown pool id {pool}"),
+            NaimError::RepoHeader { what } => {
+                write!(f, "repository header invalid: {what}")
+            }
+            NaimError::RepoVersion { found, expected } => write!(
+                f,
+                "repository format version {found} is not the supported version {expected}"
+            ),
+            NaimError::RepoTruncated {
+                record,
+                wanted,
+                got,
+            } => write!(
+                f,
+                "pool image record {record} truncated: wanted {wanted} bytes, backend holds {got}"
+            ),
+            NaimError::RepoChecksum {
+                record,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "pool image record {record} failed CRC check: stored {stored:#010x}, computed {computed:#010x}"
+            ),
             NaimError::OutOfMemory { wanted, budget } => write!(
                 f,
                 "optimizer heap exhausted: needed {wanted} bytes with a hard budget of {budget}"

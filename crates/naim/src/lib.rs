@@ -79,5 +79,8 @@ pub use loader::{
     Thresholds,
 };
 pub use pid::Pid;
-pub use repository::{MemBackend, RepoBackend, RepoHandle, Repository};
+pub use repository::{
+    crc32, ContentHash, MemBackend, RepoBackend, RepoHandle, RepoStats, Repository, REPO_MAGIC,
+    REPO_VERSION,
+};
 pub use sharded::ShardedLoader;

@@ -453,6 +453,40 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
         id
     }
 
+    /// Registers a pool already resident in the repository (e.g. stored
+    /// by an earlier run and re-located through the persistent index).
+    ///
+    /// The pool starts in [`PoolState::Offloaded`] and occupies no
+    /// accounted memory; the first [`Loader::get`] rehydrates it through
+    /// the ordinary fetch + eager-swizzling path.
+    pub fn insert_offloaded(&mut self, handle: RepoHandle, kind: PoolKind) -> PoolId {
+        let id = PoolId(u32::try_from(self.slots.len()).expect("pool count fits in u32"));
+        self.clock += 1;
+        self.slots.push(Slot {
+            kind,
+            state: State::Offloaded(handle),
+            last_use: self.clock,
+            unload_pending: false,
+            expanded_size: 0,
+            compact_size: handle.len(),
+        });
+        self.stats.pools += 1;
+        id
+    }
+
+    /// Shared access to the backing repository (e.g. to inspect stats or
+    /// look up records by content hash).
+    #[must_use]
+    pub fn repository(&self) -> &Repository<B> {
+        &self.repo
+    }
+
+    /// Exclusive access to the backing repository (e.g. to store records
+    /// directly or flush the persistent index).
+    pub fn repository_mut(&mut self) -> &mut Repository<B> {
+        &mut self.repo
+    }
+
     /// Current residency state of `id`.
     ///
     /// # Panics
@@ -1004,6 +1038,43 @@ mod tests {
         loader.unload(a).unwrap();
         let (expanded, pending, compact, offloaded) = loader.census();
         assert_eq!((expanded, pending, compact, offloaded), (1, 1, 0, 0));
+    }
+
+    #[test]
+    fn insert_offloaded_rehydrates_through_swizzling_path() {
+        // Store a pool image directly, as a previous run's cache would,
+        // then adopt it into a fresh loader and read it back.
+        let mut repo = Repository::in_memory();
+        let blob = Blob::of(9, 40);
+        let mut enc = Encoder::new();
+        blob.compact(&mut enc);
+        let handle = repo.store(&enc.into_bytes()).unwrap();
+        let mut loader: Loader<Blob> =
+            Loader::with_repository(NaimConfig::with_budget(1 << 30), repo);
+        let id = loader.insert_offloaded(handle, PoolKind::Ir);
+        assert_eq!(loader.state(id), PoolState::Offloaded);
+        assert_eq!(loader.get(id).unwrap(), &blob);
+        assert_eq!(loader.state(id), PoolState::Expanded);
+        let stats = loader.stats();
+        assert_eq!(stats.offload_reads, 1);
+        assert_eq!(stats.uncompactions, 1);
+    }
+
+    #[test]
+    fn rescue_path_surfaces_typed_repository_error() {
+        // A handle into an empty repository: the rescue path must
+        // surface the repository's typed error, not panic or hand back
+        // a garbage pool.
+        let mut donor = Repository::in_memory();
+        let mut enc = Encoder::new();
+        Blob::of(1, 8).compact(&mut enc);
+        let foreign = donor.store(&enc.into_bytes()).unwrap();
+        let mut loader: Loader<Blob> = Loader::new(NaimConfig::with_budget(1 << 30));
+        let id = loader.insert_offloaded(foreign, PoolKind::Ir);
+        match loader.get(id) {
+            Err(NaimError::UnknownPool { pool }) => assert_eq!(pool, foreign.id()),
+            other => panic!("expected UnknownPool from the rescue path, got {other:?}"),
+        }
     }
 
     #[test]

@@ -145,6 +145,24 @@ pub enum TraceEvent {
         /// Whether the site made the cut.
         selected: bool,
     },
+    /// An incremental-build cache decision.
+    Cache {
+        /// What happened: `"hit"` (entry reused), `"miss"` (entry
+        /// absent, recompiling), `"store"` (entry written),
+        /// `"invalidate"` (entry present but unusable — corrupted,
+        /// truncated, or format-mismatched — so the module falls back
+        /// to a full recompile), or `"replay"` (a whole-build hit
+        /// replayed the cached image and report).
+        action: &'static str,
+        /// Granularity: `"module"` (per-module front-end IL) or
+        /// `"build"` (whole-program image + report).
+        scope: &'static str,
+        /// Module name for module-scope events; the build-key digest
+        /// for build-scope events.
+        name: String,
+        /// Payload bytes moved for hits/stores; 0 otherwise.
+        bytes: u64,
+    },
     /// A module was placed in or out of the CMO set by selectivity.
     SelectModule {
         /// Module name.
@@ -168,6 +186,7 @@ impl TraceEvent {
             TraceEvent::DeadRoutine { .. } => "dead_routine",
             TraceEvent::SelectSite { .. } => "select_site",
             TraceEvent::SelectModule { .. } => "select_module",
+            TraceEvent::Cache { .. } => "cache",
         }
     }
 
@@ -242,6 +261,19 @@ impl TraceEvent {
                 out.push_str("\"module\":\"");
                 escape_into(module, out);
                 let _ = write!(out, "\",\"sites\":{sites},\"selected\":{selected}");
+            }
+            TraceEvent::Cache {
+                action,
+                scope,
+                name,
+                bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"action\":\"{action}\",\"scope\":\"{scope}\",\"name\":\""
+                );
+                escape_into(name, out);
+                let _ = write!(out, "\",\"bytes\":{bytes}");
             }
         }
     }
@@ -603,6 +635,24 @@ mod tests {
         assert!(lines[0].contains("\"routine\":\"b\""));
         assert!(lines[1].contains("\"routine\":\"c\""));
         assert!(lines[1].contains("\"worker\":1"));
+    }
+
+    #[test]
+    fn cache_events_serialize_all_fields() {
+        let t = Telemetry::enabled();
+        t.emit(TraceEvent::Cache {
+            action: "hit",
+            scope: "module",
+            name: "alpha\"x".into(),
+            bytes: 512,
+        });
+        let trace = t.render_trace();
+        let ev = trace.lines().nth(1).unwrap();
+        assert!(ev.contains("\"event\":\"cache\""), "{ev}");
+        assert!(ev.contains("\"action\":\"hit\""), "{ev}");
+        assert!(ev.contains("\"scope\":\"module\""), "{ev}");
+        assert!(ev.contains("\"name\":\"alpha\\\"x\""), "{ev}");
+        assert!(ev.contains("\"bytes\":512"), "{ev}");
     }
 
     #[test]

@@ -20,12 +20,14 @@
 //! Executing an instrumented image additionally collects probe counts,
 //! which [`profile_from_run`] turns into a [`cmo_profile::ProfileDb`].
 
+mod codec;
 mod cost;
 mod disasm;
 mod exec;
 mod image;
 mod minstr;
 
+pub use codec::IMAGE_MAGIC;
 pub use cost::{CostModel, ICacheConfig};
 pub use disasm::{disassemble, disassemble_routine};
 pub use exec::{run, ExecError, ExecResult, RunConfig};

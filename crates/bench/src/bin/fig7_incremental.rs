@@ -91,6 +91,20 @@ fn main() {
         .push_str("\nfn fig7_touched(x: int) -> int { return x; }\n");
     build("dirty1", &dirty);
 
+    // Crash recovery: tear the repository's tail, as a kill -9 during
+    // an append would. open() truncates back to the last well-framed
+    // record, invalidates dangling manifest entries, and the rebuild
+    // must reproduce the same program — the cost shown is the price of
+    // recovering instead of starting cold.
+    {
+        let repo = cache_dir.join("repo.naim");
+        let mut bytes = std::fs::read(&repo).expect("read repo");
+        let keep = bytes.len().saturating_sub(bytes.len() / 4);
+        bytes.truncate(keep);
+        std::fs::write(&repo, &bytes).expect("tear repo");
+    }
+    build("recover", &dirty);
+
     write_csv(
         "fig7_incremental.csv",
         "scenario,frontend_hits,build_replayed,build_ms,work_units,speedup_vs_cold",
@@ -100,5 +114,6 @@ fn main() {
     println!();
     println!("A warm rebuild replays the image and report from the cache (§6.1's");
     println!("make flow, extended to the whole optimizing link); editing one");
-    println!("module re-runs the front end for that module only.");
+    println!("module re-runs the front end for that module only. A torn");
+    println!("repository is rolled back on open and rebuilt, never trusted.");
 }

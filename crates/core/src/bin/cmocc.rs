@@ -25,15 +25,32 @@
 //!                      replays the linked image and report
 //!   --no-cache         explicitly disable caching (conflicts with
 //!                      --cache-dir)
+//!   --keep-going       degraded mode: a failing module becomes a
+//!                      diagnostic, the remaining modules still build
+//!                      (and cache); the image links only if all
+//!                      modules succeed
+//!   --isolate          binary-search the first inline operation that
+//!                      changes behaviour on the --run input (§6.3);
+//!                      requires --run and +O4
 //! ```
 //!
 //! Sources compile to IL objects; objects feed the optimizing link.
 //! Mixing `.mlc` and pre-compiled `.cmo` files on one command line is
 //! the `make` flow of §6.1.
+//!
+//! # Exit codes
+//!
+//! | code | meaning |
+//! |---|---|
+//! | 0 | success |
+//! | 1 | compile/run diagnostics (including `--keep-going` with failures) |
+//! | 2 | usage or flag errors |
+//! | 3 | success, but storage corruption was recovered and rebuilt |
+//! | 101 | internal bug (uncontained panic) |
 
 use cmo::{
-    build_objects_cached, BuildCache, BuildError, BuildOptions, NaimConfig, OptLevel, ProfileDb,
-    Telemetry,
+    build_objects_cached, BuildCache, BuildError, BuildOptions, CompileReport, FaultStats,
+    NaimConfig, OptLevel, ProfileDb, Telemetry, TraceEvent,
 };
 use cmo_ir::IlObject;
 use std::path::{Path, PathBuf};
@@ -57,12 +74,29 @@ struct Cli {
     trace: Option<PathBuf>,
     cache_dir: Option<PathBuf>,
     no_cache: bool,
+    keep_going: bool,
+    isolate: bool,
+}
+
+/// A diagnosed failure carrying its exit code: 1 for compile/run
+/// diagnostics, 2 for usage errors, 101 reserved for internal bugs
+/// (reached by letting the panic escape, never constructed here).
+struct Failure {
+    code: u8,
+    msg: String,
+}
+
+impl From<String> for Failure {
+    fn from(msg: String) -> Self {
+        Failure { code: 1, msg }
+    }
 }
 
 fn usage() -> String {
     "usage: cmocc [-c] [+O1|+O2|+O4] [+P <db>] [+I] [--sel <pct>] [--budget <MiB>] \
      [-j <N>] [--shards <N>] [--run <v1,v2,..>] [--profile-out <f>] [--emit-asm] [--report] \
-     [--report-json <f>] [--trace <f>] [--cache-dir <dir>] [--no-cache] <files...>"
+     [--report-json <f>] [--trace <f>] [--cache-dir <dir>] [--no-cache] [--keep-going] \
+     [--isolate] <files...>"
         .to_owned()
 }
 
@@ -78,6 +112,7 @@ fn validate(cli: &Cli) -> Result<(), String> {
             ("--report", cli.report),
             ("--report-json", cli.report_json.is_some()),
             ("--trace", cli.trace.is_some()),
+            ("--isolate", cli.isolate),
         ];
         for (flag, given) in conflicts {
             if *given {
@@ -92,6 +127,17 @@ fn validate(cli: &Cli) -> Result<(), String> {
     }
     if cli.profile_out.is_some() && cli.run.is_none() {
         return Err("--profile-out requires --run (profiles come from executing main)".to_owned());
+    }
+    if cli.isolate {
+        if cli.run.is_none() {
+            return Err("--isolate requires --run (isolation compares run checksums)".to_owned());
+        }
+        if cli.level != OptLevel::O4 {
+            return Err("--isolate requires +O4 (it searches the inliner's op limit)".to_owned());
+        }
+        if cli.instrument {
+            return Err("--isolate conflicts with +I: probes perturb the checksum".to_owned());
+        }
     }
     if let Some(sel) = cli.selectivity {
         if !sel.is_finite() || !(0.0..=100.0).contains(&sel) {
@@ -122,6 +168,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         trace: None,
         cache_dir: None,
         no_cache: false,
+        keep_going: false,
+        isolate: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -193,6 +241,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--trace" => cli.trace = Some(PathBuf::from(next("a path")?)),
             "--cache-dir" => cli.cache_dir = Some(PathBuf::from(next("a directory")?)),
             "--no-cache" => cli.no_cache = true,
+            "--keep-going" => cli.keep_going = true,
+            "--isolate" => cli.isolate = true,
             "-h" | "--help" => return Err(usage()),
             jn if jn.strip_prefix("-j").is_some_and(|n| !n.is_empty()) => {
                 let n: usize = jn[2..].parse().map_err(|e| format!("bad -j value: {e}"))?;
@@ -219,6 +269,72 @@ fn module_name(path: &Path) -> String {
         .map_or_else(|| "module".to_owned(), |s| s.to_string_lossy().into_owned())
 }
 
+/// Test hook for worker-panic containment: `CMOCC_PANIC_ON=<module>`
+/// panics the worker compiling that module, exercising the
+/// `--keep-going` and exit-101 paths from the outside.
+fn maybe_injected_panic(module: &str) {
+    if std::env::var("CMOCC_PANIC_ON").as_deref() == Ok(module) {
+        panic!("injected front-end panic in `{module}`");
+    }
+}
+
+/// How one module failed to load: a front-end diagnostic, or a panic
+/// contained by the worker pool.
+enum LoadFailure {
+    Diag(String),
+    Panic(String),
+}
+
+/// Folds the per-input load results. Without `--keep-going` the first
+/// diagnostic aborts (and a panic re-raises as an internal bug); with
+/// it, each failure becomes a stderr diagnostic plus `degraded` /
+/// `job-panic` trace events, and the survivors go on.
+fn absorb_failures<T>(
+    cli: &Cli,
+    tel: &Telemetry,
+    faults: &mut FaultStats,
+    results: Vec<(usize, Result<T, LoadFailure>)>,
+    mut keep: impl FnMut(usize, T),
+) -> Result<(), Failure> {
+    for (i, result) in results {
+        match result {
+            Ok(value) => keep(i, value),
+            Err(failure) => {
+                let module = module_name(&cli.inputs[i]);
+                let msg = match &failure {
+                    LoadFailure::Diag(msg) => msg.clone(),
+                    LoadFailure::Panic(payload) => {
+                        format!("module `{module}` panicked the compiler: {payload}")
+                    }
+                };
+                if !cli.keep_going {
+                    if let LoadFailure::Panic(payload) = &failure {
+                        // An uncontained compiler panic is an internal
+                        // bug: re-raise so the process exits 101.
+                        panic!("front-end worker panicked on `{module}`: {payload}");
+                    }
+                    return Err(Failure { code: 1, msg });
+                }
+                eprintln!("cmocc: {msg} (--keep-going: skipping `{module}`)");
+                if let LoadFailure::Panic(payload) = &failure {
+                    faults.job_panics += 1;
+                    tel.emit(TraceEvent::JobPanic {
+                        job: i as u64,
+                        payload: payload.clone(),
+                    });
+                }
+                tel.emit(TraceEvent::Degraded {
+                    component: "frontend",
+                    name: module,
+                    error: msg,
+                });
+                faults.degraded.push(module_name(&cli.inputs[i]));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Reads, and if necessary compiles, one input file. Returns the IL
 /// object plus the `.cmo` path written in `-c` mode (reported by the
 /// caller in input order, so the output is stable at any `-j`).
@@ -234,8 +350,10 @@ fn load_one(path: &Path, compile_only: bool) -> Result<(IlObject, Option<PathBuf
             path.display()
         )
     })?;
-    let obj = cmo::compile_module(&module_name(path), &source)
-        .map_err(|e| format!("{}:{e}", path.display()))?;
+    let module = module_name(path);
+    maybe_injected_panic(&module);
+    let obj =
+        cmo::compile_module(&module, &source).map_err(|e| format!("{}:{e}", path.display()))?;
     let mut written = None;
     if compile_only {
         let out = path.with_extension("cmo");
@@ -250,18 +368,33 @@ fn load_one(path: &Path, compile_only: bool) -> Result<(IlObject, Option<PathBuf
 /// worker pool. Results merge in input order: with several bad inputs
 /// the diagnostic is always the first by position, and `-c` progress
 /// lines print in input order, independent of scheduling.
-fn load_objects(cli: &Cli) -> Result<Vec<IlObject>, String> {
-    let results = cmo::run_jobs(cli.inputs.len(), cli.jobs, |_, i| {
+fn load_objects(
+    cli: &Cli,
+    tel: &Telemetry,
+    faults: &mut FaultStats,
+) -> Result<Vec<IlObject>, Failure> {
+    let results = cmo::try_run_jobs(cli.inputs.len(), cli.jobs, |_, i| {
         load_one(&cli.inputs[i], cli.compile_only)
     });
-    let mut objects = Vec::with_capacity(results.len());
-    for result in results {
-        let (obj, written) = result?;
+    let results = results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let flat = match r {
+                Ok(Ok(value)) => Ok(value),
+                Ok(Err(msg)) => Err(LoadFailure::Diag(msg)),
+                Err(e) => Err(LoadFailure::Panic(e.payload)),
+            };
+            (i, flat)
+        })
+        .collect();
+    let mut objects = Vec::with_capacity(cli.inputs.len());
+    absorb_failures(cli, tel, faults, results, |_, (obj, written)| {
         if let Some(out) = written {
             println!("wrote {}", out.display());
         }
         objects.push(obj);
-    }
+    })?;
     Ok(objects)
 }
 
@@ -295,70 +428,148 @@ fn read_one(path: &Path) -> Result<LoadedInput, String> {
 /// cache *on the main thread in input order* (so cache trace events
 /// are deterministic at any `-j`); only the misses are compiled, again
 /// over the worker pool. Returns the objects plus their per-module
-/// fingerprints for the whole-build key.
+/// fingerprints for the whole-build key (failed modules under
+/// `--keep-going` contribute neither).
 fn load_objects_cached(
     cli: &Cli,
     bcache: &mut BuildCache,
     tel: &Telemetry,
-) -> Result<(Vec<IlObject>, Vec<String>), String> {
-    let reads = cmo::run_jobs(cli.inputs.len(), cli.jobs, |_, i| read_one(&cli.inputs[i]));
-    let mut inputs = Vec::with_capacity(reads.len());
-    for read in reads {
-        inputs.push(read?);
-    }
-    let mut fps = Vec::with_capacity(inputs.len());
-    let mut slots: Vec<Option<IlObject>> = Vec::with_capacity(inputs.len());
+    faults: &mut FaultStats,
+) -> Result<(Vec<IlObject>, Vec<String>), Failure> {
+    let reads = cmo::try_run_jobs(cli.inputs.len(), cli.jobs, |_, i| read_one(&cli.inputs[i]));
+    let mut inputs: Vec<Option<LoadedInput>> = Vec::with_capacity(reads.len());
+    let results = reads
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let flat = match r {
+                Ok(Ok(value)) => Ok(value),
+                Ok(Err(msg)) => Err(LoadFailure::Diag(msg)),
+                Err(e) => Err(LoadFailure::Panic(e.payload)),
+            };
+            (i, flat)
+        })
+        .collect();
+    absorb_failures(cli, tel, faults, results, |i, input| {
+        inputs.resize_with(i, || None);
+        inputs.push(Some(input));
+    })?;
+    inputs.resize_with(cli.inputs.len(), || None);
+    let mut fps = vec![String::new(); inputs.len()];
+    let mut slots: Vec<Option<IlObject>> = (0..inputs.len()).map(|_| None).collect();
     let mut misses: Vec<usize> = Vec::new();
     for (i, input) in inputs.iter().enumerate() {
         match input {
-            LoadedInput::Object(obj) => {
-                fps.push(cmo::object_fingerprint(&obj.module_name, &obj.to_bytes()));
-                slots.push(Some(obj.clone()));
+            Some(LoadedInput::Object(obj)) => {
+                fps[i] = cmo::object_fingerprint(&obj.module_name, &obj.to_bytes());
+                slots[i] = Some(obj.clone());
             }
-            LoadedInput::Source { module, source } => {
+            Some(LoadedInput::Source { module, source }) => {
                 let fp = cmo::module_fingerprint(module, source);
                 match bcache.get_module(module, &fp, tel) {
-                    Some(obj) => slots.push(Some(obj)),
-                    None => {
-                        slots.push(None);
-                        misses.push(i);
-                    }
+                    Some(obj) => slots[i] = Some(obj),
+                    None => misses.push(i),
                 }
-                fps.push(fp);
+                fps[i] = fp;
             }
+            None => {} // already degraded at the read stage
         }
     }
-    let compiled = cmo::run_jobs(misses.len(), cli.jobs, |_, k| {
-        let LoadedInput::Source { module, source } = &inputs[misses[k]] else {
+    let compiled = cmo::try_run_jobs(misses.len(), cli.jobs, |_, k| {
+        let Some(LoadedInput::Source { module, source }) = &inputs[misses[k]] else {
             unreachable!("only source inputs can miss the cache");
         };
+        maybe_injected_panic(module);
         cmo::compile_module(module, source)
             .map_err(|e| format!("{}:{e}", cli.inputs[misses[k]].display()))
     });
-    for (k, result) in compiled.into_iter().enumerate() {
-        slots[misses[k]] = Some(result?);
-    }
-    let mut objects = Vec::with_capacity(slots.len());
-    for (i, slot) in slots.into_iter().enumerate() {
-        let obj = slot.expect("every slot filled by hit or compile");
-        if misses.binary_search(&i).is_ok() {
-            let LoadedInput::Source { module, .. } = &inputs[i] else {
-                unreachable!("only source inputs can miss the cache");
+    let results = compiled
+        .into_iter()
+        .enumerate()
+        .map(|(k, r)| {
+            let flat = match r {
+                Ok(Ok(value)) => Ok(value),
+                Ok(Err(msg)) => Err(LoadFailure::Diag(msg)),
+                Err(e) => Err(LoadFailure::Panic(e.payload)),
             };
-            bcache.put_module(module, &fps[i], &obj, tel);
-        }
-        if cli.compile_only && matches!(inputs[i], LoadedInput::Source { .. }) {
+            (misses[k], flat)
+        })
+        .collect();
+    absorb_failures(cli, tel, faults, results, |i, obj| {
+        let Some(LoadedInput::Source { module, .. }) = &inputs[i] else {
+            unreachable!("only source inputs can miss the cache");
+        };
+        bcache.put_module(module, &fps[i], &obj, tel);
+        slots[i] = Some(obj);
+    })?;
+    let mut objects = Vec::with_capacity(slots.len());
+    let mut kept_fps = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        let Some(obj) = slot else {
+            continue; // degraded module: no object, no fingerprint
+        };
+        if cli.compile_only && matches!(inputs[i], Some(LoadedInput::Source { .. })) {
             let out = cli.inputs[i].with_extension("cmo");
             std::fs::write(&out, obj.to_bytes())
                 .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
             println!("wrote {}", out.display());
         }
+        kept_fps.push(fps[i].clone());
         objects.push(obj);
     }
-    Ok((objects, fps))
+    Ok((objects, kept_fps))
 }
 
-fn run_cli(cli: &Cli) -> Result<(), String> {
+/// The exit code of a run that otherwise succeeded: 3 when the cache
+/// store was found corrupted (and recovered, forcing a rebuild), 0
+/// otherwise.
+fn success_code(bcache: Option<&BuildCache>) -> u8 {
+    match bcache {
+        Some(cache) if cache.recovered() > 0 || cache.stats().invalidations > 0 => 3,
+        _ => 0,
+    }
+}
+
+/// The `--keep-going` failure epilogue: the image is not linked, but
+/// the trace, a partial report (selection and fault sections only),
+/// and the cache of successfully compiled survivors are all written.
+fn write_degraded_outputs(
+    cli: &Cli,
+    tel: &Telemetry,
+    bcache: Option<&mut BuildCache>,
+    faults: &FaultStats,
+) -> Result<(), Failure> {
+    let mut cache_stats = cmo::CacheStats::default();
+    if let Some(cache) = bcache {
+        cache_stats = cache.stats();
+        if let Err(e) = cache.persist() {
+            tel.emit(TraceEvent::Degraded {
+                component: "cache",
+                name: "persist".to_owned(),
+                error: e.to_string(),
+            });
+        }
+    }
+    if let Some(path) = &cli.report_json {
+        let report = CompileReport {
+            total_modules: cli.inputs.len(),
+            cache: cache_stats,
+            faults: faults.clone(),
+            ..CompileReport::default()
+        };
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote report to {}", path.display());
+    }
+    if let Some(path) = &cli.trace {
+        std::fs::write(path, tel.render_trace())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote trace to {}", path.display());
+    }
+    Ok(())
+}
+
+fn run_cli(cli: &Cli) -> Result<u8, Failure> {
     let tel = if cli.report_json.is_some() || cli.trace.is_some() {
         Telemetry::enabled()
     } else {
@@ -366,25 +577,37 @@ fn run_cli(cli: &Cli) -> Result<(), String> {
     };
     let mut bcache = match &cli.cache_dir {
         Some(dir) => Some(
-            BuildCache::open(dir)
+            BuildCache::open_traced(dir, &tel)
                 .map_err(|e| format!("cannot open cache at {}: {e}", dir.display()))?,
         ),
         None => None,
     };
+    let mut faults = FaultStats::default();
     let (objects, fingerprints) = {
         let _parse = tel.phase("parse");
         match bcache.as_mut() {
-            Some(cache) => load_objects_cached(cli, cache, &tel)?,
-            None => (load_objects(cli)?, Vec::new()),
+            Some(cache) => load_objects_cached(cli, cache, &tel, &mut faults)?,
+            None => (load_objects(cli, &tel, &mut faults)?, Vec::new()),
         }
     };
+    if !faults.degraded.is_empty() {
+        write_degraded_outputs(cli, &tel, bcache.as_mut(), &faults)?;
+        return Err(Failure {
+            code: 1,
+            msg: format!(
+                "{} of {} modules failed; image not linked",
+                faults.degraded.len(),
+                cli.inputs.len()
+            ),
+        });
+    }
     if cli.compile_only {
         if let Some(cache) = bcache.as_mut() {
             cache
                 .persist()
                 .map_err(|e| format!("cannot persist cache: {e}"))?;
         }
-        return Ok(());
+        return Ok(success_code(bcache.as_ref()));
     }
     let mut options = BuildOptions::new(cli.level).with_jobs(cli.jobs);
     options.telemetry = tel.clone();
@@ -406,6 +629,7 @@ fn run_cli(cli: &Cli) -> Result<(), String> {
         options.naim = options.naim.clone().shards(shards);
     }
 
+    let isolate_objects = cli.isolate.then(|| objects.clone());
     let out = build_objects_cached(objects, &fingerprints, &options, bcache.as_mut()).map_err(
         |e| match e {
             BuildError::Naim(inner) => format!(
@@ -480,15 +704,35 @@ fn run_cli(cli: &Cli) -> Result<(), String> {
         );
         if let Some(path) = &cli.profile_out {
             if !out.image.is_instrumented() {
-                return Err("--profile-out needs an instrumented (+I) build".to_owned());
+                return Err("--profile-out needs an instrumented (+I) build"
+                    .to_owned()
+                    .into());
             }
             let db = cmo_vm::profile_from_run(&out.image, &result.probe_counts);
             std::fs::write(path, db.to_bytes())
                 .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
             println!("wrote profile database to {}", path.display());
         }
+        if let Some(objects) = isolate_objects {
+            let mut cc = cmo::Compiler::new();
+            for obj in objects {
+                cc.add_object(obj);
+            }
+            let isolation =
+                cmo::isolate_inline_ops(&cc, &options, input).map_err(|e| e.to_string())?;
+            match isolation.report.first_faulty_op {
+                Some(op) => println!(
+                    "isolated: inline op {op} of {} first changes behaviour ({} builds)",
+                    isolation.total_ops, isolation.report.builds
+                ),
+                None => println!(
+                    "isolated: all {} inline ops behave ({} builds)",
+                    isolation.total_ops, isolation.report.builds
+                ),
+            }
+        }
     }
-    Ok(())
+    Ok(success_code(bcache.as_ref()))
 }
 
 fn main() -> ExitCode {
@@ -501,10 +745,10 @@ fn main() -> ExitCode {
         }
     };
     match run_cli(&cli) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Ok(code) => ExitCode::from(code),
+        Err(Failure { code, msg }) => {
             eprintln!("cmocc: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(code)
         }
     }
 }

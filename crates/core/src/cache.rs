@@ -23,18 +23,38 @@
 //!
 //! All cache probes and stores happen on the driver's main thread in
 //! module input order, so traces and reports stay byte-identical at
-//! every `-j` worker count. A warm full-build hit replays the *cold*
-//! run's stored [`CompileReport`] verbatim, which is what makes
-//! `--report-json` byte-identical between cold and warm builds.
+//! every `-j` worker count — and so is the *storage operation stream*,
+//! which is what makes the kill-point fault sweep deterministic. A warm
+//! full-build hit replays the *cold* run's stored [`CompileReport`]
+//! verbatim, which is what makes `--report-json` byte-identical between
+//! cold and warm builds.
+//!
+//! # Crash safety
+//!
+//! All I/O goes through the [`Storage`] trait (so tests can interpose
+//! `FaultyStorage`), and [`BuildCache::persist`] commits a generation
+//! in a fixed order:
+//!
+//! 1. append the repository index segment, then **fsync** `repo.naim`;
+//! 2. atomically replace `commit.journal` (write temp → fsync →
+//!    rename) recording the synced repository length;
+//! 3. atomically replace `manifest.tsv` the same way.
+//!
+//! On open, the journal rolls an over-long repository back to its last
+//! committed length (a crash between steps 1 and 2), the record-chain
+//! scan truncates any remaining torn tail, and an unreadable store is
+//! recreated from scratch. Each repair emits a `recover` trace event
+//! and at worst forces recompilation — never a panic, never stale
+//! bytes: manifest entries pointing at rolled-back records simply miss.
 
 use std::collections::BTreeMap;
-use std::fs::File;
-use std::path::{Path, PathBuf};
+use std::path::Path;
+use std::sync::Arc;
 
 use cmo_ir::IlObject;
 use cmo_naim::{
-    ContentHash, DecodeError, Decoder, Encoder, Loader, NaimConfig, NaimError, PoolKind,
-    Relocatable, Repository,
+    ContentHash, DecodeError, Decoder, DiskStorage, Encoder, Loader, NaimConfig, NaimError,
+    PoolKind, Relocatable, Repository, Storage, StorageFile,
 };
 use cmo_telemetry::{Telemetry, TraceEvent};
 use cmo_vm::MachineImage;
@@ -45,10 +65,22 @@ use crate::report::CompileReport;
 /// Cache format epoch. Bumped whenever fingerprint inputs, the entry
 /// encoding, or the manifest layout change, so stale caches from
 /// earlier compiler builds miss cleanly instead of decoding garbage.
-pub const CACHE_FORMAT: u32 = 1;
+pub const CACHE_FORMAT: u32 = 2;
 
 /// First line of `manifest.tsv`.
 const MANIFEST_SCHEMA: &str = "cmo.cache.v1";
+
+/// First line of `commit.journal`.
+const JOURNAL_SCHEMA: &str = "cmo.journal.v1";
+
+/// Repository file name inside the cache directory.
+const REPO_FILE: &str = "repo.naim";
+
+/// Manifest file name inside the cache directory.
+const MANIFEST_FILE: &str = "manifest.tsv";
+
+/// Commit-journal file name inside the cache directory.
+const JOURNAL_FILE: &str = "commit.journal";
 
 /// Counters for cache activity during one build, surfaced in the
 /// `cache` section of the unified report.
@@ -153,10 +185,14 @@ enum Fetched {
 /// whole-build replay, and flushed with [`BuildCache::persist`].
 #[derive(Debug)]
 pub struct BuildCache {
-    dir: PathBuf,
-    loader: Loader<CacheEntry, File>,
+    storage: Arc<dyn Storage>,
+    loader: Loader<CacheEntry, StorageFile>,
     manifest: BTreeMap<String, ContentHash>,
     stats: CacheStats,
+    /// Crash-recovery repairs performed while opening (rollbacks,
+    /// truncations, recreations). Non-zero means persistent state was
+    /// repaired and the build will recompile what was lost.
+    recovered: u64,
 }
 
 impl BuildCache {
@@ -173,36 +209,107 @@ impl BuildCache {
     /// directory, permission problems) — never for stale or corrupt
     /// cache *content*.
     pub fn open<P: AsRef<Path>>(dir: P) -> Result<BuildCache, NaimError> {
-        let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
-        let repo_path = dir.join("repo.naim");
-        let (repo, fresh) = match Repository::open_or_create(&repo_path) {
-            Ok(repo) => (repo, false),
-            Err(NaimError::Repository(e)) => return Err(NaimError::Repository(e)),
-            // Header/version/decode problems: the cache is from another
-            // era. Start over.
-            Err(_) => (Repository::create(&repo_path)?, true),
+        BuildCache::open_traced(dir, &Telemetry::disabled())
+    }
+
+    /// [`BuildCache::open`] with a telemetry sink, so crash-recovery
+    /// repairs show up as `recover` events in the trace.
+    ///
+    /// # Errors
+    ///
+    /// As [`BuildCache::open`].
+    pub fn open_traced<P: AsRef<Path>>(dir: P, tel: &Telemetry) -> Result<BuildCache, NaimError> {
+        BuildCache::open_on(Arc::new(DiskStorage::new(dir)?), tel)
+    }
+
+    /// Opens the cache over any [`Storage`] — the seam the fault-
+    /// injection harnesses use to run real builds against in-memory or
+    /// deliberately faulty stores.
+    ///
+    /// Recovery runs here: the commit journal rolls back a
+    /// half-committed repository generation, the record-chain scan
+    /// truncates a torn tail, and an unreadable repository is recreated
+    /// fresh. Each repair emits a `recover` trace event and bumps
+    /// [`BuildCache::recovered`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for live I/O failures, never for corrupt
+    /// content.
+    pub fn open_on(storage: Arc<dyn Storage>, tel: &Telemetry) -> Result<BuildCache, NaimError> {
+        let mut recovered = 0u64;
+        // A crash after the repository fsync but before the journal
+        // commit leaves repo.naim longer than the last committed
+        // generation: roll the uncommitted suffix back. (The converse
+        // — journal ahead of the repository — means the journal itself
+        // is the stale file; it is simply ignored.)
+        if let Some(committed) = read_journal(storage.as_ref()) {
+            if storage.exists(REPO_FILE) {
+                let size = storage.size(REPO_FILE)?;
+                if size > committed {
+                    storage.truncate(REPO_FILE, committed)?;
+                    recovered += 1;
+                    tel.emit(TraceEvent::Recover {
+                        component: "repository",
+                        action: "rollback",
+                        bytes: size - committed,
+                    });
+                }
+            }
+        }
+        let backend = |storage: &Arc<dyn Storage>| StorageFile::new(Arc::clone(storage), REPO_FILE);
+        let (repo, fresh) = if storage.exists(REPO_FILE) {
+            match Repository::open_backend(backend(&storage)) {
+                Ok(repo) => (repo, false),
+                Err(NaimError::Repository(e)) => return Err(NaimError::Repository(e)),
+                // Header/version/decode problems: the cache is from
+                // another era (or shredded beyond record recovery).
+                // Start over.
+                Err(_) => {
+                    let old = storage.size(REPO_FILE).unwrap_or(0);
+                    recovered += 1;
+                    tel.emit(TraceEvent::Recover {
+                        component: "repository",
+                        action: "recreate",
+                        bytes: old,
+                    });
+                    (Repository::create_backend(backend(&storage))?, true)
+                }
+            }
+        } else {
+            (Repository::create_backend(backend(&storage))?, true)
         };
+        if let Some(repair) = repo.recovery() {
+            recovered += 1;
+            tel.emit(TraceEvent::Recover {
+                component: "repository",
+                action: "truncate",
+                bytes: repair.dropped_bytes,
+            });
+        }
         let manifest = if fresh {
             BTreeMap::new()
         } else {
-            read_manifest(&dir.join("manifest.tsv"))
+            read_manifest(storage.as_ref())
         };
         Ok(BuildCache {
-            dir,
+            storage,
             loader: Loader::with_repository(NaimConfig::disabled(), repo),
             manifest,
             stats: CacheStats {
                 enabled: true,
                 ..CacheStats::default()
             },
+            recovered,
         })
     }
 
-    /// The directory this cache lives in.
+    /// Crash-recovery repairs performed while opening. Non-zero means
+    /// the previous process died mid-commit (or the store was damaged)
+    /// and this build starts from the last committed generation.
     #[must_use]
-    pub fn dir(&self) -> &Path {
-        &self.dir
+    pub fn recovered(&self) -> u64 {
+        self.recovered
     }
 
     /// Snapshot of the per-build cache counters.
@@ -333,9 +440,11 @@ impl BuildCache {
         }
     }
 
-    /// Flushes the repository index segment and rewrites the manifest
-    /// atomically (write to a temp file, then rename into place), so a
-    /// process killed mid-persist leaves the previous manifest intact.
+    /// Commits the current generation: flushes the repository index
+    /// segment, fsyncs `repo.naim`, journals the committed length, then
+    /// atomically replaces the manifest (write temp → fsync → rename).
+    /// A process killed at any point leaves either the previous
+    /// generation or this one — never a mix.
     ///
     /// # Errors
     ///
@@ -343,6 +452,13 @@ impl BuildCache {
     /// longer writable.
     pub fn persist(&mut self) -> Result<(), NaimError> {
         self.loader.repository_mut().flush_index()?;
+        self.storage.sync(REPO_FILE)?;
+        let committed = self.storage.size(REPO_FILE)?;
+        write_atomic(
+            self.storage.as_ref(),
+            JOURNAL_FILE,
+            format!("{JOURNAL_SCHEMA}\n{committed}\n").as_bytes(),
+        )?;
         let mut text = String::with_capacity(64 * (1 + self.manifest.len()));
         text.push_str(MANIFEST_SCHEMA);
         text.push('\n');
@@ -352,9 +468,7 @@ impl BuildCache {
             text.push_str(&hash.to_hex());
             text.push('\n');
         }
-        let tmp = self.dir.join("manifest.tsv.tmp");
-        std::fs::write(&tmp, &text)?;
-        std::fs::rename(&tmp, self.dir.join("manifest.tsv"))?;
+        write_atomic(self.storage.as_ref(), MANIFEST_FILE, text.as_bytes())?;
         Ok(())
     }
 
@@ -372,6 +486,9 @@ impl BuildCache {
             Ok(entry) => Fetched::Hit(Box::new(entry.clone()), bytes),
             Err(_) => {
                 self.manifest.remove(key);
+                // Unindex the corrupt record too, or a re-store of the
+                // same payload would dedup right back onto it.
+                self.loader.repository_mut().evict(hash);
                 Fetched::Invalid
             }
         }
@@ -399,9 +516,35 @@ fn emit(tel: &Telemetry, action: &'static str, scope: &'static str, name: &str, 
     });
 }
 
-fn read_manifest(path: &Path) -> BTreeMap<String, ContentHash> {
+/// Writes `name` via the temp → fsync → rename protocol, so the file
+/// flips atomically from its previous content to `data` and the crash
+/// model cannot leave a torn or unsynced-rename version behind.
+fn write_atomic(storage: &dyn Storage, name: &str, data: &[u8]) -> std::io::Result<()> {
+    let tmp = format!("{name}.tmp");
+    storage.write(&tmp, data)?;
+    storage.sync(&tmp)?;
+    storage.rename(&tmp, name)
+}
+
+/// Reads the commit journal: the repository length of the last fully
+/// committed generation. `None` when the journal is missing or
+/// unreadable — recovery then relies on the record-chain scan alone.
+fn read_journal(storage: &dyn Storage) -> Option<u64> {
+    let bytes = storage.read(JOURNAL_FILE).ok()?;
+    let text = std::str::from_utf8(&bytes).ok()?;
+    let mut lines = text.lines();
+    if lines.next() != Some(JOURNAL_SCHEMA) {
+        return None;
+    }
+    lines.next()?.trim().parse().ok()
+}
+
+fn read_manifest(storage: &dyn Storage) -> BTreeMap<String, ContentHash> {
     let mut manifest = BTreeMap::new();
-    let Ok(text) = std::fs::read_to_string(path) else {
+    let Ok(bytes) = storage.read(MANIFEST_FILE) else {
+        return manifest;
+    };
+    let Ok(text) = std::str::from_utf8(&bytes) else {
         return manifest;
     };
     let mut lines = text.lines();
@@ -541,6 +684,7 @@ pub fn build_key(module_fps: &[String], options: &BuildOptions) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("cmo-cache-{tag}-{}", std::process::id()));
@@ -632,6 +776,57 @@ mod tests {
         assert_eq!(cache.record_count(), 0);
         assert!(cache.get_module("m", "fp", &tel).is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncommitted_repository_suffix_rolls_back_on_open() {
+        use cmo_naim::MemStorage;
+        let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        let tel = Telemetry::disabled();
+        let obj = small_object();
+        let fp = module_fingerprint("m", "src");
+        {
+            let mut cache = BuildCache::open_on(Arc::clone(&storage), &tel).unwrap();
+            cache.put_module("m", &fp, &obj, &tel);
+            cache.persist().unwrap();
+        }
+        let committed = storage.size(REPO_FILE).unwrap();
+        // A successor process appended a new generation but died before
+        // committing it to the journal.
+        storage.append(REPO_FILE, &[0xAB; 64]).unwrap();
+        let traced = Telemetry::enabled();
+        let mut cache = BuildCache::open_on(Arc::clone(&storage), &traced).unwrap();
+        assert_eq!(cache.recovered(), 1);
+        assert_eq!(
+            storage.size(REPO_FILE).unwrap(),
+            committed,
+            "uncommitted suffix must be rolled back"
+        );
+        assert!(
+            cache.get_module("m", &fp, &tel).is_some(),
+            "committed generation must survive the rollback"
+        );
+        let trace = traced.render_trace();
+        assert!(
+            trace.contains(
+                r#""event":"recover","component":"repository","action":"rollback","bytes":64"#
+            ),
+            "trace: {trace}"
+        );
+    }
+
+    #[test]
+    fn clean_open_reports_no_recovery() {
+        use cmo_naim::MemStorage;
+        let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        let tel = Telemetry::disabled();
+        {
+            let mut cache = BuildCache::open_on(Arc::clone(&storage), &tel).unwrap();
+            cache.put_module("m", "fp", &small_object(), &tel);
+            cache.persist().unwrap();
+        }
+        let cache = BuildCache::open_on(storage, &tel).unwrap();
+        assert_eq!(cache.recovered(), 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::cache::{self, BuildCache, CacheStats};
 use crate::parallel::run_jobs;
-use crate::report::CompileReport;
+use crate::report::{CompileReport, FaultStats};
 use cmo_frontend::FrontendError;
 use cmo_hlo::{
     fold_globals, inline_pass, CallGraph, GlobalFacts, HloSession, HloStats, InlineOptions,
@@ -248,6 +248,9 @@ pub struct BuildReport {
     /// Incremental-cache counters for this build (zeros when no cache
     /// was attached).
     pub cache: CacheStats,
+    /// Faults contained during the build: worker panics absorbed by
+    /// the job pool and modules skipped under `--keep-going`.
+    pub faults: FaultStats,
     /// Hierarchical phase timers recorded by the build's telemetry
     /// sink. Empty when telemetry was disabled.
     pub phases: Vec<PhaseRecord>,
@@ -800,8 +803,9 @@ pub fn build_objects(
 ///
 /// # Errors
 ///
-/// See [`build_objects`]; additionally propagates cache persistence
-/// I/O failures as [`BuildError::Naim`].
+/// See [`build_objects`]. Cache *persistence* failures (a full disk at
+/// commit time) never fail the build: they degrade to a `degraded`
+/// trace event and the next run starts colder.
 pub fn build_objects_cached(
     objects: Vec<IlObject>,
     module_fps: &[String],
@@ -837,10 +841,11 @@ pub fn build_objects_cached(
             compile_work: stored.compile_work,
             image_instrs: stored.image_instrs,
             cache: bcache.stats(),
+            faults: stored.faults.clone(),
             phases: stored.phases.clone(),
             replayed: Some(stored),
         };
-        bcache.persist().map_err(BuildError::Naim)?;
+        persist_or_degrade(bcache, &tel);
         return Ok(BuildOutput { image, report });
     }
     let mut out = build_objects(objects, options)?;
@@ -850,8 +855,22 @@ pub fn build_objects_cached(
     out.report.cache = bcache.stats();
     let stored = CompileReport::from_build(&out.report);
     bcache.put_build(&key, &out.image, &stored, &tel);
-    bcache.persist().map_err(BuildError::Naim)?;
+    persist_or_degrade(bcache, &tel);
     Ok(out)
+}
+
+/// Commits the cache, downgrading a persist failure (full disk,
+/// revoked permissions) to a `degraded` trace event: a build that
+/// compiled correctly must not fail because its *cache* could not be
+/// written — the next run simply starts colder.
+fn persist_or_degrade(bcache: &mut BuildCache, tel: &Telemetry) {
+    if let Err(e) = bcache.persist() {
+        tel.emit(TraceEvent::Degraded {
+            component: "cache",
+            name: "persist".to_owned(),
+            error: e.to_string(),
+        });
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,10 @@
 //! binary-searches the operation limit against a caller-supplied
 //! oracle and reports the first faulty operation.
 
+use crate::driver::{BuildError, BuildOptions, Compiler};
+use cmo_hlo::InlineOptions;
+use cmo_telemetry::Telemetry;
+
 /// The outcome of an isolation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IsolationReport {
@@ -59,11 +63,78 @@ pub fn isolate_faulty_op(max_ops: u64, mut is_good: impl FnMut(u64) -> bool) -> 
     }
 }
 
+/// [`isolate_faulty_op`] instantiated for the inliner against real
+/// builds: the end-to-end flow behind `cmocc --isolate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InlineIsolation {
+    /// Binary-search outcome over the inline operation limit.
+    pub report: IsolationReport,
+    /// Inline operations the unrestricted build performs.
+    pub total_ops: u64,
+    /// Output checksum of the zero-inline reference build on the
+    /// isolation input.
+    pub reference_checksum: u64,
+}
+
+/// Binary-searches for the first inline operation that changes the
+/// program's observable behaviour on `input`.
+///
+/// The reference is the same build with the inliner's operation limit
+/// pinned to zero, so any divergence is attributable to an inline
+/// operation. A search build whose run faults (fuel, stack) counts as
+/// misbehaving — a miscompile that diverges is exactly what the limit
+/// exists to catch. Search builds run with telemetry disabled so the
+/// caller's trace only records its own builds.
+///
+/// # Errors
+///
+/// Propagates build failures and a reference run that faults; the
+/// reference must work for the oracle to mean anything.
+pub fn isolate_inline_ops(
+    cc: &Compiler,
+    options: &BuildOptions,
+    input: &[i64],
+) -> Result<InlineIsolation, BuildError> {
+    let mut search = options.clone();
+    search.telemetry = Telemetry::disabled();
+    let limited = |limit: u64| {
+        search.clone().with_inline(InlineOptions {
+            op_limit: Some(limit),
+            ..options.inline.clone()
+        })
+    };
+    let reference_checksum = cc.build(&limited(0))?.run(input)?.checksum;
+    let total_ops = cc.build(&search)?.report.hlo.inlines;
+    let mut build_error = None;
+    let report = isolate_faulty_op(total_ops, |limit| {
+        if build_error.is_some() {
+            return true; // short-circuit; the report is discarded below
+        }
+        match cc.build(&limited(limit)) {
+            Ok(out) => match out.run(input) {
+                Ok(r) => r.checksum == reference_checksum,
+                Err(_) => false,
+            },
+            Err(e) => {
+                build_error = Some(e);
+                true
+            }
+        }
+    });
+    match build_error {
+        Some(e) => Err(e),
+        None => Ok(InlineIsolation {
+            report,
+            total_ops,
+            reference_checksum,
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::{BuildOptions, Compiler, OptLevel};
-    use cmo_hlo::InlineOptions;
+    use crate::driver::OptLevel;
 
     #[test]
     fn finds_planted_bad_operation() {
@@ -118,5 +189,25 @@ mod tests {
             out.report.hlo.inlines < 2
         });
         assert_eq!(report.first_faulty_op, Some(2));
+    }
+
+    /// The inliner is semantics-preserving here, so end-to-end
+    /// isolation on a correct program finds nothing — and counts the
+    /// ops it cleared.
+    #[test]
+    fn correct_program_isolates_nothing() {
+        let mut cc = Compiler::new();
+        cc.add_source(
+            "m",
+            r#"
+            static fn a(x: int) -> int { return x + 1; }
+            static fn b(x: int) -> int { return a(x) * 2; }
+            fn main() -> int { return a(3) + b(4); }
+            "#,
+        )
+        .unwrap();
+        let isolation = isolate_inline_ops(&cc, &BuildOptions::new(OptLevel::O4), &[]).unwrap();
+        assert_eq!(isolation.report.first_faulty_op, None);
+        assert!(isolation.total_ops > 0, "expected some inline ops");
     }
 }

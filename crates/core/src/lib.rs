@@ -64,16 +64,19 @@ pub use driver::{
     build_objects, build_objects_cached, BuildError, BuildOptions, BuildOutput, BuildReport,
     Compiler, OptLevel,
 };
-pub use isolate::{isolate_faulty_op, IsolationReport};
-pub use parallel::{default_jobs, run_jobs};
+pub use isolate::{isolate_faulty_op, isolate_inline_ops, InlineIsolation, IsolationReport};
+pub use parallel::{default_jobs, run_jobs, try_run_jobs, JobError};
 pub use project::Project;
-pub use report::CompileReport;
+pub use report::{CompileReport, FaultStats};
 
 // Re-export the pieces a downstream user composes with.
 pub use cmo_frontend::compile_module;
 pub use cmo_hlo::InlineOptions;
 pub use cmo_ir::IlObject;
-pub use cmo_naim::{NaimConfig, NaimLevel, Thresholds};
+pub use cmo_naim::{
+    DiskStorage, Fault, FaultyStorage, MemStorage, NaimConfig, NaimLevel, RepoRecovery, Storage,
+    StorageFile, Thresholds,
+};
 pub use cmo_profile::ProfileDb;
 pub use cmo_telemetry::{PhaseRecord, Telemetry, TraceEvent};
 pub use cmo_vm::{ExecResult, RunConfig};

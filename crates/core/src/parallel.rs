@@ -1,54 +1,94 @@
-//! A fixed-size worker pool with deterministic result merging.
+//! A fixed-size worker pool with deterministic result merging and
+//! panic containment.
 //!
 //! The driver's parallel sections (front-end lowering, per-routine LLO)
 //! all follow one shape: `n` independent jobs, each producing a result
-//! keyed by its index, merged back in index order. [`run_jobs`] is that
-//! shape: workers pull job indices from a shared queue (an atomic
+//! keyed by its index, merged back in index order. [`try_run_jobs`] is
+//! that shape: workers pull job indices from a shared queue (an atomic
 //! cursor), write results into index-keyed slots, and the caller gets a
 //! `Vec` in job order — so the *output* is independent of which worker
 //! ran which job, and byte-identical across `-j` levels.
+//!
+//! A panicking job does not tear down the pool: each job runs under
+//! [`std::panic::catch_unwind`], its panic is converted into a
+//! [`JobError`] carrying the job index and payload, and the remaining
+//! jobs still run. [`run_jobs`] is the infallible wrapper that
+//! re-raises the first failure for callers whose jobs cannot fail.
 //!
 //! With `workers <= 1` (or a single job) everything runs inline on the
 //! calling thread through the same code path, which is what makes
 //! `-j1` structurally identical to the parallel runs rather than a
 //! separate sequential implementation.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
+/// A job that panicked instead of producing its result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// Index of the job that panicked.
+    pub index: usize,
+    /// The panic payload, when it was a string ("non-string panic
+    /// payload" otherwise).
+    pub payload: String,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.payload)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Renders a `catch_unwind` payload for diagnostics.
+fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Runs `n_jobs` jobs over `workers` threads and returns their results
-/// in job order.
+/// in job order, with each panic contained as a [`JobError`].
 ///
 /// `f` is called once per job index `i` in `0..n_jobs`, with the id of
 /// the executing worker as its first argument (0 when running inline,
 /// `1..=workers` on pool threads). Worker ids exist for telemetry
 /// tagging only — results are keyed by job index, never by worker.
-///
-/// # Panics
-///
-/// Propagates a panic from any job (the scope joins all workers
-/// first).
-pub fn run_jobs<R, F>(n_jobs: usize, workers: usize, f: F) -> Vec<R>
+pub fn try_run_jobs<R, F>(n_jobs: usize, workers: usize, f: F) -> Vec<Result<R, JobError>>
 where
     R: Send,
     F: Fn(u32, usize) -> R + Sync,
 {
+    let guarded = |worker: u32, i: usize| {
+        catch_unwind(AssertUnwindSafe(|| f(worker, i))).map_err(|payload| JobError {
+            index: i,
+            payload: payload_string(payload.as_ref()),
+        })
+    };
     if workers <= 1 || n_jobs <= 1 {
-        return (0..n_jobs).map(|i| f(0, i)).collect();
+        return (0..n_jobs).map(|i| guarded(0, i)).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, JobError>>>> =
+        (0..n_jobs).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for worker in 1..=workers.min(n_jobs) {
             let cursor = &cursor;
             let slots = &slots;
-            let f = &f;
+            let guarded = &guarded;
             s.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n_jobs {
                     break;
                 }
-                let result = f(worker as u32, i);
+                let result = guarded(worker as u32, i);
                 *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
             });
         }
@@ -59,6 +99,26 @@ where
             slot.into_inner()
                 .unwrap_or_else(PoisonError::into_inner)
                 .expect("every job index was claimed exactly once")
+        })
+        .collect()
+}
+
+/// Infallible wrapper over [`try_run_jobs`] for jobs that cannot fail.
+///
+/// # Panics
+///
+/// Re-raises the lowest-indexed job panic (after all jobs have run and
+/// all workers have joined).
+pub fn run_jobs<R, F>(n_jobs: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u32, usize) -> R + Sync,
+{
+    try_run_jobs(n_jobs, workers, f)
+        .into_iter()
+        .map(|result| match result {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
         })
         .collect()
 }
@@ -109,6 +169,54 @@ mod tests {
                 run_jobs(200, workers, |_, i| i.wrapping_mul(2_654_435_761))
             );
         }
+    }
+
+    #[test]
+    fn panicking_job_yields_a_structured_error() {
+        for workers in [1, 4] {
+            let results = try_run_jobs(8, workers, |_, i| {
+                if i == 3 {
+                    panic!("job three exploded");
+                }
+                i * 10
+            });
+            for (i, result) in results.iter().enumerate() {
+                if i == 3 {
+                    let err = result.as_ref().unwrap_err();
+                    assert_eq!(err.index, 3);
+                    assert_eq!(err.payload, "job three exploded");
+                    assert_eq!(format!("{err}"), "job 3 panicked: job three exploded");
+                } else {
+                    assert_eq!(*result.as_ref().unwrap(), i * 10, "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn formatted_panic_payloads_are_captured() {
+        let results = try_run_jobs(2, 1, |_, i| {
+            if i == 1 {
+                panic!("formatted {} payload", 42);
+            }
+        });
+        assert_eq!(
+            results[1].as_ref().unwrap_err().payload,
+            "formatted 42 payload"
+        );
+    }
+
+    #[test]
+    fn run_jobs_reraises_the_first_panic() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_jobs(4, 2, |_, i| {
+                if i >= 2 {
+                    panic!("boom {i}");
+                }
+            })
+        }))
+        .unwrap_err();
+        assert_eq!(payload_string(caught.as_ref()), "job 2 panicked: boom 2");
     }
 
     #[test]

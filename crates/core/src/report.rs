@@ -20,6 +20,22 @@ use cmo_naim::{DecodeError, Decoder, Encoder, LoaderStats, MemClass, MemorySnaps
 use cmo_telemetry::json::JsonWriter;
 use cmo_telemetry::{PhaseRecord, REPORT_SCHEMA};
 
+/// Contained faults of one compilation: worker panics absorbed by the
+/// job pool and modules abandoned under `--keep-going`.
+///
+/// Storage-recovery counts are deliberately *not* part of the report:
+/// a rebuild after cache recovery must serialize byte-identically to
+/// the original build, so recovery is surfaced through `recover` trace
+/// events and `cmocc`'s exit code 3 instead.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Worker panics contained by the job pool.
+    pub job_panics: u64,
+    /// Names of modules that failed and were skipped (`--keep-going`),
+    /// in input order.
+    pub degraded: Vec<String>,
+}
+
 /// Aggregated, versioned view of one compilation, serializable to the
 /// `cmo.report.v1` JSON schema via [`CompileReport::to_json`].
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -47,6 +63,8 @@ pub struct CompileReport {
     /// Incremental-cache activity for this build (all zeros with the
     /// cache disabled).
     pub cache: CacheStats,
+    /// Faults contained during the build (empty on a clean run).
+    pub faults: FaultStats,
     /// Hierarchical phase timers on the work-unit clock.
     pub phases: Vec<PhaseRecord>,
 }
@@ -81,6 +99,7 @@ impl CompileReport {
             compile_work: report.compile_work,
             image_instrs: report.image_instrs,
             cache: report.cache,
+            faults: report.faults.clone(),
             phases: report.phases.clone(),
         }
     }
@@ -174,6 +193,15 @@ impl CompileReport {
         w.field_u64("invalidations", self.cache.invalidations);
         w.end_obj();
 
+        w.begin_obj(Some("faults"));
+        w.field_u64("job_panics", self.faults.job_panics);
+        w.begin_arr(Some("degraded"));
+        for module in &self.faults.degraded {
+            w.elem_str(module);
+        }
+        w.end_arr();
+        w.end_obj();
+
         w.begin_arr(Some("phases"));
         for phase in &self.phases {
             w.begin_obj(None);
@@ -230,6 +258,11 @@ impl CompileReport {
         enc.write_u64(self.cache.module_misses);
         enc.write_u64(self.cache.build_hits);
         enc.write_u64(self.cache.invalidations);
+        enc.write_u64(self.faults.job_panics);
+        enc.write_usize(self.faults.degraded.len());
+        for module in &self.faults.degraded {
+            enc.write_str(module);
+        }
         enc.write_usize(self.phases.len());
         for phase in &self.phases {
             enc.write_str(&phase.name);
@@ -289,6 +322,16 @@ impl CompileReport {
             build_hits: dec.read_u64()?,
             invalidations: dec.read_u64()?,
         };
+        let job_panics = dec.read_u64()?;
+        let n_degraded = dec.read_usize()?;
+        let mut degraded = Vec::with_capacity(n_degraded.min(4096));
+        for _ in 0..n_degraded {
+            degraded.push(dec.read_str()?.to_owned());
+        }
+        let faults = FaultStats {
+            job_panics,
+            degraded,
+        };
         let n_phases = dec.read_usize()?;
         let mut phases = Vec::with_capacity(n_phases.min(4096));
         for _ in 0..n_phases {
@@ -312,6 +355,7 @@ impl CompileReport {
             compile_work,
             image_instrs,
             cache,
+            faults,
             phases,
         })
     }
@@ -374,6 +418,7 @@ mod tests {
             "\"image\"",
             "\"work\"",
             "\"cache\"",
+            "\"faults\"",
             "\"phases\"",
         ] {
             assert!(text.contains(section), "missing {section} in {text}");
@@ -395,6 +440,10 @@ mod tests {
             module_misses: 1,
             build_hits: 1,
             invalidations: 2,
+        };
+        r.faults = FaultStats {
+            job_panics: 1,
+            degraded: vec!["util".to_owned(), "app".to_owned()],
         };
         let mut enc = Encoder::new();
         r.encode(&mut enc);

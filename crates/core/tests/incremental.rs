@@ -44,8 +44,15 @@ fn write_sources(dir: &Path) -> (PathBuf, PathBuf) {
 }
 
 /// Runs a `+O4` cached build writing report, trace, and disassembly;
-/// returns (stdout, report json, trace).
-fn build(dir: &Path, cache: &Path, jobs: &str, tag: &str) -> (String, String, String) {
+/// returns (stdout, report json, trace). `code` is the expected exit
+/// code: 0 for a clean build, 3 when the cache was found corrupted.
+fn build_expecting(
+    dir: &Path,
+    cache: &Path,
+    jobs: &str,
+    tag: &str,
+    code: i32,
+) -> (String, String, String) {
     let json = dir.join(format!("{tag}.json"));
     let trace = dir.join(format!("{tag}.trace"));
     let out = cmocc()
@@ -61,8 +68,9 @@ fn build(dir: &Path, cache: &Path, jobs: &str, tag: &str) -> (String, String, St
         .arg(dir.join("app.mlc"))
         .output()
         .unwrap();
-    assert!(
-        out.status.success(),
+    assert_eq!(
+        out.status.code(),
+        Some(code),
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
@@ -71,6 +79,11 @@ fn build(dir: &Path, cache: &Path, jobs: &str, tag: &str) -> (String, String, St
         std::fs::read_to_string(&json).unwrap(),
         std::fs::read_to_string(&trace).unwrap(),
     )
+}
+
+/// [`build_expecting`] success.
+fn build(dir: &Path, cache: &Path, jobs: &str, tag: &str) -> (String, String, String) {
+    build_expecting(dir, cache, jobs, tag, 0)
 }
 
 /// Strips the "wrote ..." progress lines (temp paths) and the human
@@ -178,7 +191,8 @@ fn corrupted_cache_falls_back_to_identical_full_recompile() {
     bytes[mid] ^= 0xFF;
     std::fs::write(&repo, &bytes).unwrap();
 
-    let (hurt_out, _, hurt_trace) = build(&dir, &cache, "1", "hurt");
+    // The fallback succeeds but flags the corruption via exit code 3.
+    let (hurt_out, _, hurt_trace) = build_expecting(&dir, &cache, "1", "hurt", 3);
     assert!(
         hurt_trace.contains(r#""action":"invalidate""#),
         "no diagnostic invalidate event: {hurt_trace}"

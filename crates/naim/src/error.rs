@@ -106,6 +106,25 @@ pub enum NaimError {
     },
 }
 
+impl NaimError {
+    /// Whether this error indicates corrupted or torn persistent state
+    /// (as opposed to a live I/O failure or a resource limit). Corrupt
+    /// state is recoverable by discarding it and recompiling; callers
+    /// like the build cache use this to decide between "recreate the
+    /// store" and "surface the error".
+    #[must_use]
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            NaimError::Decode(_)
+                | NaimError::RepoHeader { .. }
+                | NaimError::RepoVersion { .. }
+                | NaimError::RepoTruncated { .. }
+                | NaimError::RepoChecksum { .. }
+        )
+    }
+}
+
 impl fmt::Display for NaimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

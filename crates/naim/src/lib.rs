@@ -69,6 +69,7 @@ mod loader;
 mod pid;
 mod repository;
 mod sharded;
+mod storage;
 
 pub use accounting::{MemClass, MemoryAccountant, MemorySnapshot, SharedAccountant};
 pub use arena::Arena;
@@ -80,7 +81,8 @@ pub use loader::{
 };
 pub use pid::Pid;
 pub use repository::{
-    crc32, ContentHash, MemBackend, RepoBackend, RepoHandle, RepoStats, Repository, REPO_MAGIC,
-    REPO_VERSION,
+    crc32, ContentHash, MemBackend, RepoBackend, RepoHandle, RepoRecovery, RepoStats, Repository,
+    REPO_MAGIC, REPO_VERSION,
 };
 pub use sharded::ShardedLoader;
+pub use storage::{DiskStorage, Fault, FaultyStorage, MemStorage, Storage, StorageFile};

@@ -182,6 +182,14 @@ pub trait RepoBackend {
     ///
     /// Returns any underlying I/O failure.
     fn size(&mut self) -> std::io::Result<u64>;
+
+    /// Truncates the backend to `len` bytes, dropping trailing garbage
+    /// left by an interrupted append.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O failure.
+    fn truncate(&mut self, len: u64) -> std::io::Result<()>;
 }
 
 /// In-memory backend; useful for tests and for measuring offload traffic
@@ -233,6 +241,11 @@ impl RepoBackend for MemBackend {
     fn size(&mut self) -> std::io::Result<u64> {
         Ok(self.data.len() as u64)
     }
+
+    fn truncate(&mut self, len: u64) -> std::io::Result<()> {
+        self.data.truncate(len as usize);
+        Ok(())
+    }
 }
 
 impl RepoBackend for File {
@@ -252,6 +265,10 @@ impl RepoBackend for File {
     fn size(&mut self) -> std::io::Result<u64> {
         self.seek(SeekFrom::End(0))
     }
+
+    fn truncate(&mut self, len: u64) -> std::io::Result<()> {
+        self.set_len(len)
+    }
 }
 
 /// Statistics on repository traffic, used by the Figure 5 experiment.
@@ -267,6 +284,17 @@ pub struct RepoStats {
     pub bytes_read: u64,
     /// Stores satisfied by an existing identical record (no write).
     pub dedup_hits: u64,
+}
+
+/// What [`Repository::open_backend`] had to repair: trailing bytes that
+/// did not form a complete, well-framed record (a torn append or
+/// unknown-kind garbage) were truncated away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepoRecovery {
+    /// Bytes dropped from the tail of the backend.
+    pub dropped_bytes: u64,
+    /// Length of the valid prefix the repository was truncated to.
+    pub valid_len: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -290,6 +318,7 @@ pub struct Repository<B = MemBackend> {
     records: Vec<RecordMeta>,
     by_hash: HashMap<ContentHash, u32>,
     stats: RepoStats,
+    recovery: Option<RepoRecovery>,
 }
 
 impl Repository<MemBackend> {
@@ -368,7 +397,31 @@ impl<B: RepoBackend> Repository<B> {
             records: Vec::new(),
             by_hash: HashMap::new(),
             stats: RepoStats::default(),
+            recovery: None,
         }
+    }
+
+    /// Fallible counterpart of [`Repository::with_backend`]: truncates
+    /// the backend and writes a fresh header, surfacing I/O failures
+    /// instead of panicking. This is the path storage-backed callers
+    /// (which may sit on a fault injector) use.
+    ///
+    /// # Errors
+    ///
+    /// Returns any backend I/O failure.
+    pub fn create_backend(mut backend: B) -> Result<Self, NaimError> {
+        backend.truncate(0)?;
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(&REPO_MAGIC);
+        header.extend_from_slice(&REPO_VERSION.to_le_bytes());
+        backend.append(&header)?;
+        Ok(Repository {
+            backend,
+            records: Vec::new(),
+            by_hash: HashMap::new(),
+            stats: RepoStats::default(),
+            recovery: None,
+        })
     }
 
     /// Opens an existing backend: validates the header, then rebuilds
@@ -403,14 +456,35 @@ impl<B: RepoBackend> Repository<B> {
             records: Vec::new(),
             by_hash: HashMap::new(),
             stats: RepoStats::default(),
+            recovery: None,
         };
         if !repo.load_index_from_footer(size)? {
-            repo.scan_records(size)?;
+            let valid_end = repo.scan_records(size)?;
+            if valid_end < size {
+                // A torn append (or unknown-kind garbage) left trailing
+                // bytes that are not a well-framed record: drop them so
+                // the next append starts on a clean record boundary.
+                repo.backend.truncate(valid_end)?;
+                repo.recovery = Some(RepoRecovery {
+                    dropped_bytes: size - valid_end,
+                    valid_len: valid_end,
+                });
+            }
         }
         for (id, rec) in repo.records.iter().enumerate() {
-            repo.by_hash.entry(rec.hash).or_insert(id as u32);
+            // Last record wins: duplicate hashes only arise when an
+            // earlier record was evicted as corrupt and its payload
+            // re-stored, and then the newest copy is the good one.
+            repo.by_hash.insert(rec.hash, id as u32);
         }
         Ok(repo)
+    }
+
+    /// The repair performed while opening, if the record chain had a
+    /// torn or garbage tail. `None` after a clean open.
+    #[must_use]
+    pub fn recovery(&self) -> Option<RepoRecovery> {
+        self.recovery
     }
 
     /// Fast path: an intact index segment addressed by the file footer.
@@ -461,19 +535,19 @@ impl<B: RepoBackend> Repository<B> {
         Ok(true)
     }
 
-    /// Recovery path: walk the record chain from the header. A torn
-    /// final record (crashed append) is ignored; everything before it
-    /// remains fetchable.
-    fn scan_records(&mut self, size: u64) -> Result<(), NaimError> {
+    /// Recovery path: walk the record chain from the header, returning
+    /// the end of the longest valid prefix. A torn final record
+    /// (crashed append), a partial record header, or an unknown record
+    /// kind ends the walk; everything before it remains fetchable and
+    /// the caller truncates the rest away.
+    fn scan_records(&mut self, size: u64) -> Result<u64, NaimError> {
         self.records.clear();
         let mut pos = HEADER_LEN;
         while pos + RECORD_HEADER_LEN <= size {
             let head = self.backend.read_at(pos, RECORD_HEADER_LEN as usize)?;
             let (kind, hash, len, crc) = parse_record_header(&head);
             if kind != KIND_POOL && kind != KIND_INDEX {
-                return Err(NaimError::RepoHeader {
-                    what: "unknown record kind in record chain",
-                });
+                break; // garbage tail: not a record we ever wrote
             }
             let payload_offset = pos + RECORD_HEADER_LEN;
             if payload_offset + u64::from(len) > size {
@@ -497,7 +571,7 @@ impl<B: RepoBackend> Repository<B> {
                 }
             }
         }
-        Ok(())
+        Ok(pos)
     }
 
     /// Stores a pool image, returning its handle.
@@ -597,6 +671,16 @@ impl<B: RepoBackend> Repository<B> {
     #[must_use]
     pub fn hash_of(&self, handle: RepoHandle) -> Option<ContentHash> {
         self.records.get(handle.id as usize).map(|r| r.hash)
+    }
+
+    /// Drops a record from the content-hash index so a future store of
+    /// the same payload appends a fresh record instead of dedup-hitting
+    /// the existing — presumably corrupt — one. The record's bytes stay
+    /// in the file as dead weight and existing handles keep resolving;
+    /// only [`Repository::lookup`] and dedup forget it. Returns whether
+    /// the hash was indexed.
+    pub fn evict(&mut self, hash: ContentHash) -> bool {
+        self.by_hash.remove(&hash).is_some()
     }
 
     /// Number of pool records in the index.
@@ -803,6 +887,94 @@ mod tests {
         let mut reopened = Repository::open(&path).unwrap();
         assert_eq!(reopened.record_count(), 1);
         assert_eq!(reopened.fetch(h).unwrap(), b"unindexed pool");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported_on_open() {
+        let dir = temp_dir("torn-tail");
+        let path = dir.join("repo.bin");
+        let (ha, torn_len) = {
+            let mut repo = Repository::create(&path).unwrap();
+            let ha = repo.store(b"intact record").unwrap();
+            repo.store(b"this record will be torn mid-payload").unwrap();
+            (ha, 10)
+        };
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - torn_len]).unwrap();
+        let mut repo = Repository::open(&path).unwrap();
+        // The intact record survives; the torn one is gone.
+        assert_eq!(repo.record_count(), 1);
+        assert_eq!(repo.fetch(ha).unwrap(), b"intact record");
+        let rec = repo.recovery().expect("open repaired a torn tail");
+        assert_eq!(
+            rec.dropped_bytes,
+            RECORD_HEADER_LEN + 36 - torn_len as u64,
+            "dropped the torn record's surviving prefix"
+        );
+        // The file itself was truncated to the valid prefix, so a new
+        // append lands on a record boundary and a re-open is clean.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), rec.valid_len);
+        let hb = repo.store(b"appended after recovery").unwrap();
+        drop(repo);
+        let mut reopened = Repository::open(&path).unwrap();
+        assert!(reopened.recovery().is_none());
+        assert_eq!(reopened.fetch(hb).unwrap(), b"appended after recovery");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn evicted_record_restores_fresh_and_wins_reopen() {
+        let dir = temp_dir("evict");
+        let path = dir.join("repo.bin");
+        let (h1, h2) = {
+            let mut repo = Repository::create(&path).unwrap();
+            let h1 = repo.store(b"poisoned payload").unwrap();
+            let hash = repo.hash_of(h1).unwrap();
+            // Simulate a corrupt record: evict it so the identical
+            // payload re-stores as a fresh record instead of deduping.
+            assert!(repo.evict(hash));
+            assert!(!repo.evict(hash), "second evict finds nothing");
+            assert!(repo.lookup(hash).is_none());
+            let h2 = repo.store(b"poisoned payload").unwrap();
+            assert_ne!(h1.id, h2.id, "re-store must append, not dedup");
+            assert_eq!(repo.lookup(hash).unwrap().id, h2.id);
+            repo.flush_index().unwrap();
+            (h1, h2)
+        };
+        // On reopen the later (good) record owns the hash, not the
+        // evicted one — even though both are still in the file.
+        let mut reopened = Repository::open(&path).unwrap();
+        assert_eq!(reopened.record_count(), 2);
+        let hash = reopened.hash_of(h1).unwrap();
+        assert_eq!(reopened.lookup(hash).unwrap().id, h2.id);
+        assert_eq!(reopened.fetch(h2).unwrap(), b"poisoned payload");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_tail_is_truncated_not_fatal() {
+        let dir = temp_dir("garbage-tail");
+        let path = dir.join("repo.bin");
+        let h = {
+            let mut repo = Repository::create(&path).unwrap();
+            repo.store(b"good bytes").unwrap()
+        };
+        // Append bytes that are long enough to parse as a record header
+        // but carry a kind tag we never wrote.
+        let mut garbage = vec![0xEEu8; RECORD_HEADER_LEN as usize + 7];
+        garbage[0] = 99;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        std::io::Write::write_all(&mut file, &garbage).unwrap();
+        drop(file);
+        let mut repo = Repository::open(&path).unwrap();
+        assert_eq!(repo.record_count(), 1);
+        assert_eq!(repo.fetch(h).unwrap(), b"good bytes");
+        let rec = repo.recovery().unwrap();
+        assert_eq!(rec.dropped_bytes, garbage.len() as u64);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

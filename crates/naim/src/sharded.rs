@@ -433,6 +433,34 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_shard_stays_usable() {
+        let mut l: ShardedLoader<Blob> = ShardedLoader::new(config(2));
+        let ids: Vec<_> = (0..8)
+            .map(|i| l.insert(Blob::of(i, 50), PoolKind::Ir))
+            .collect();
+        let loader = Arc::new(l);
+        // Panic while holding a shard's lock, poisoning its mutex.
+        let poisoner = Arc::clone(&loader);
+        let first = ids[0];
+        let result = std::thread::spawn(move || {
+            poisoner
+                .with(first, |_| panic!("worker died mid-access"))
+                .unwrap()
+        })
+        .join();
+        assert!(result.is_err(), "the panic must reach the worker's join");
+        // Every pool — including those on the poisoned shard — remains
+        // readable, and the loader still accepts shared-access traffic.
+        for (i, &id) in ids.iter().enumerate() {
+            let blob = loader.with(id, Clone::clone).unwrap();
+            assert_eq!(blob, Blob::of(i as u64, 50));
+        }
+        loader.unload_shared(first).unwrap();
+        let blob = loader.with(first, Clone::clone).unwrap();
+        assert_eq!(blob, Blob::of(0, 50));
+    }
+
+    #[test]
     fn round_trips_through_all_states_across_shards() {
         let mut loader: ShardedLoader<Blob> = ShardedLoader::new(config(4));
         assert_eq!(loader.n_shards(), 4);

@@ -173,6 +173,40 @@ pub enum TraceEvent {
         /// Whether the module will be compiled with CMO.
         selected: bool,
     },
+    /// Crash-consistency recovery performed while opening persistent
+    /// state: torn bytes truncated, a half-committed generation rolled
+    /// back, or an unreadable store recreated from scratch.
+    Recover {
+        /// What was recovered: `"repository"` or `"manifest"`.
+        component: &'static str,
+        /// What was done: `"truncate"` (torn tail dropped),
+        /// `"rollback"` (uncommitted generation discarded via the
+        /// commit journal), or `"recreate"` (store unreadable, started
+        /// fresh).
+        action: &'static str,
+        /// Bytes discarded by the recovery action.
+        bytes: u64,
+    },
+    /// A fault was contained and the build continued in degraded mode
+    /// (`--keep-going`, or a cache persist failure that was swallowed).
+    Degraded {
+        /// The degraded component: `"frontend"` (a compilation unit
+        /// failed but the rest of the build went on) or `"cache"`
+        /// (cache writes failed; the build ran uncached).
+        component: &'static str,
+        /// Module name or cache operation name.
+        name: String,
+        /// The diagnostic that was contained.
+        error: String,
+    },
+    /// A worker job panicked; the pool contained the panic and
+    /// returned a structured per-job error instead of tearing down.
+    JobPanic {
+        /// Index of the panicking job.
+        job: u64,
+        /// The panic payload (message), when it was a string.
+        payload: String,
+    },
 }
 
 impl TraceEvent {
@@ -187,6 +221,9 @@ impl TraceEvent {
             TraceEvent::SelectSite { .. } => "select_site",
             TraceEvent::SelectModule { .. } => "select_module",
             TraceEvent::Cache { .. } => "cache",
+            TraceEvent::Recover { .. } => "recover",
+            TraceEvent::Degraded { .. } => "degraded",
+            TraceEvent::JobPanic { .. } => "job-panic",
         }
     }
 
@@ -274,6 +311,32 @@ impl TraceEvent {
                 );
                 escape_into(name, out);
                 let _ = write!(out, "\",\"bytes\":{bytes}");
+            }
+            TraceEvent::Recover {
+                component,
+                action,
+                bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"component\":\"{component}\",\"action\":\"{action}\",\"bytes\":{bytes}"
+                );
+            }
+            TraceEvent::Degraded {
+                component,
+                name,
+                error,
+            } => {
+                let _ = write!(out, "\"component\":\"{component}\",\"name\":\"");
+                escape_into(name, out);
+                out.push_str("\",\"error\":\"");
+                escape_into(error, out);
+                out.push('"');
+            }
+            TraceEvent::JobPanic { job, payload } => {
+                let _ = write!(out, "\"job\":{job},\"payload\":\"");
+                escape_into(payload, out);
+                out.push('"');
             }
         }
     }
@@ -593,6 +656,42 @@ mod tests {
         assert!(ev.contains("\"event\":\"pool\""));
         assert!(ev.contains("\"action\":\"compact\""));
         assert!(ev.contains("\"lru_pos\":0"));
+    }
+
+    #[test]
+    fn fault_events_encode_their_fields() {
+        let t = Telemetry::enabled();
+        t.emit(TraceEvent::Recover {
+            component: "repository",
+            action: "truncate",
+            bytes: 17,
+        });
+        t.emit(TraceEvent::Degraded {
+            component: "module",
+            name: "app".into(),
+            error: "parse error: \"oops\"".into(),
+        });
+        t.emit(TraceEvent::JobPanic {
+            job: 2,
+            payload: "boom".into(),
+        });
+        let trace = t.render_trace();
+        assert!(
+            trace.contains(
+                r#""event":"recover","component":"repository","action":"truncate","bytes":17"#
+            ),
+            "trace: {trace}"
+        );
+        assert!(
+            trace.contains(
+                r#""event":"degraded","component":"module","name":"app","error":"parse error: \"oops\"""#
+            ),
+            "trace: {trace}"
+        );
+        assert!(
+            trace.contains(r#""event":"job-panic","job":2,"payload":"boom""#),
+            "trace: {trace}"
+        );
     }
 
     #[test]

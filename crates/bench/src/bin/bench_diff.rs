@@ -1,0 +1,137 @@
+//! Compares two `cmo.bench.v1` snapshots and fails on regression.
+//!
+//! ```text
+//! bench-diff <baseline.json> <candidate.json> [--threshold <percent>]
+//! ```
+//!
+//! Only **deterministic counters** are gated: integer metrics such as
+//! the work-unit clock, loader work, and peak accounted bytes, which
+//! are identical run-to-run on any machine. Keys starting with
+//! `wall_` (wall-clock milliseconds) or `speedup` (wall-clock ratios)
+//! are machine-dependent and reported for information only.
+//!
+//! A metric regresses when `candidate > baseline * (1 + threshold)`;
+//! the default threshold is 15 %. Exit codes: `0` clean, `1` at least
+//! one regression, `2` usage or parse error.
+
+use cmo_bench::{parse_json, Json};
+use std::process::ExitCode;
+
+/// Metrics that are machine-dependent (wall-clock, ratios of it) or
+/// higher-is-better percentages — reported but never gated.
+fn informational(key: &str) -> bool {
+    key.starts_with("wall_") || key.starts_with("speedup") || key.ends_with("_pct")
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(cmo_bench::json::BENCH_SCHEMA) => Ok(doc),
+        Some(other) => Err(format!("{path}: unsupported schema {other:?}")),
+        None => Err(format!("{path}: missing schema field")),
+    }
+}
+
+fn rows(doc: &Json) -> Vec<(&str, &Json)> {
+    doc.get("rows")
+        .and_then(Json::as_arr)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|row| {
+                    let name = row.get("name")?.as_str()?;
+                    let metrics = row.get("metrics")?;
+                    Some((name, metrics))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold_pct = 15.0;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                let Some(value) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--threshold requires a numeric percent");
+                    return ExitCode::from(2);
+                };
+                threshold_pct = value;
+                i += 2;
+            }
+            other => {
+                paths.push(other.to_owned());
+                i += 1;
+            }
+        }
+    }
+    let [base_path, cand_path] = paths.as_slice() else {
+        eprintln!("usage: bench-diff <baseline.json> <candidate.json> [--threshold <percent>]");
+        return ExitCode::from(2);
+    };
+
+    let (base, cand) = match (load(base_path), load(cand_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (bfig, cfig) = (
+        base.get("figure").and_then(Json::as_str).unwrap_or("?"),
+        cand.get("figure").and_then(Json::as_str).unwrap_or("?"),
+    );
+    if bfig != cfig {
+        eprintln!("bench-diff: figure mismatch ({bfig} vs {cfig})");
+        return ExitCode::from(2);
+    }
+
+    let base_rows = rows(&base);
+    let mut regressions = 0u32;
+    let mut compared = 0u32;
+    println!("bench-diff {bfig}: threshold {threshold_pct}% (deterministic counters only)");
+    for (name, cand_metrics) in rows(&cand) {
+        let Some((_, base_metrics)) = base_rows.iter().find(|(n, _)| *n == name) else {
+            println!("  {name}: new row (no baseline), skipped");
+            continue;
+        };
+        let Json::Obj(fields) = cand_metrics else {
+            continue;
+        };
+        for (key, value) in fields {
+            if informational(key) {
+                continue;
+            }
+            let (Some(new), Some(old)) =
+                (value.as_num(), base_metrics.get(key).and_then(Json::as_num))
+            else {
+                continue;
+            };
+            compared += 1;
+            let limit = old * (1.0 + threshold_pct / 100.0);
+            let delta_pct = if old > 0.0 {
+                (new - old) / old * 100.0
+            } else if new > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            if new > limit || (old == 0.0 && new > 0.0) {
+                regressions += 1;
+                println!("  REGRESSION {name}.{key}: {old} -> {new} ({delta_pct:+.1}%)");
+            } else if delta_pct.abs() >= 0.05 {
+                println!("  {name}.{key}: {old} -> {new} ({delta_pct:+.1}%)");
+            }
+        }
+    }
+    println!("compared {compared} deterministic metrics, {regressions} regression(s)");
+    if regressions > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -10,9 +10,13 @@
 //! include the NAIM-off peak for contrast.
 //!
 //! Run with `cargo run --release -p cmo-bench --bin fig4_memory_scaling`.
+//! Flags: `--smoke` (first two scales only), `--json-out <path>`
+//! (write a `cmo.bench.v1` snapshot for `bench-diff`).
 
 use cmo::{BuildOptions, NaimConfig, OptLevel};
-use cmo_bench::{compiler_for, measure, measure_at_jobs, train, write_csv};
+use cmo_bench::{
+    bench_args, compiler_for, measure, measure_at_jobs, train, write_csv, BenchReport, BenchRow,
+};
 use cmo_synth::{generate, mcad_preset};
 
 /// Fixed optimizer memory budget: the "physical memory of the build
@@ -21,13 +25,20 @@ use cmo_synth::{generate, mcad_preset};
 const BUDGET: usize = 3 << 20;
 
 fn main() {
+    let args = bench_args();
     println!("Figure 4: optimizer memory vs lines of code compiled with CMO");
     println!(
         "{:>8} {:>12} {:>12} {:>12} {:>10} {:>12} {:>10} {:>10}",
         "lines", "HLO peak", "naim-off", "overall", "B/line", "offloads", "ms (-j1)", "ms (-j4)"
     );
+    let scales: &[f64] = if args.smoke {
+        &[0.125, 0.25]
+    } else {
+        &[0.125, 0.25, 0.375, 0.5, 0.675, 0.825, 1.0]
+    };
     let mut rows = Vec::new();
-    for scale in [0.125, 0.25, 0.375, 0.5, 0.675, 0.825, 1.0] {
+    let mut snapshot = BenchReport::new("fig4", args.smoke);
+    for &scale in scales {
         let app = generate(&mcad_preset("mcad1", scale));
         let cc = compiler_for(&app);
         let db = train(&cc, &app).expect("train");
@@ -76,6 +87,20 @@ fn main() {
             with_naim.checksum, without.checksum,
             "NAIM must not change code"
         );
+        let mut row = BenchRow::new(format!("{}-lines", app.total_lines));
+        row.int("hlo_peak_bytes", hlo_peak as u64)
+            .int("naim_off_peak_bytes", hlo_off as u64)
+            .int("overall_bytes", overall as u64)
+            .int("compile_work", with_naim.report.compile_work)
+            .int("work_units", with_naim.report.loader.work_units)
+            .int("fetch_work_units", with_naim.report.loader.fetch_work_units)
+            .int("offload_writes", with_naim.report.loader.offload_writes)
+            .float("wall_ms_j1", ms_j1)
+            .float("wall_ms_j4", ms_j4);
+        snapshot.rows.push(row);
+    }
+    if let Some(path) = &args.json_out {
+        snapshot.write(path);
     }
     write_csv(
         "fig4_memory_scaling.csv",

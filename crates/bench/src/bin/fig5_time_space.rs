@@ -7,22 +7,34 @@
 //! points: peak optimizer memory against both wall-clock build time
 //! and the deterministic simulated work-unit count.
 //!
+//! The offload row also reports how much cheaper rehydration is with
+//! the zero-copy fetch path: fetched bytes are charged
+//! `fetch_cost_per_byte` (borrowed view / arena read) instead of the
+//! legacy `disk_cost_per_byte` (copy through an owned buffer), and the
+//! run asserts the reduction is at least 20 %.
+//!
 //! Run with `cargo run --release -p cmo-bench --bin fig5_time_space`.
+//! Flags: `--smoke` (CI-sized program), `--json-out <path>` (write a
+//! `cmo.bench.v1` snapshot for `bench-diff`).
 
 use cmo::{BuildOptions, NaimConfig, NaimLevel, OptLevel};
-use cmo_bench::{compiler_for, measure_at_jobs, train, write_csv};
+use cmo_bench::{
+    bench_args, compiler_for, measure_at_jobs, train, write_csv, BenchReport, BenchRow,
+};
 use cmo_synth::{generate, spec_preset};
 
 fn main() {
+    let args = bench_args();
     // A gcc-scale program, grown so its expanded IR dwarfs the budget.
+    // Smoke mode shrinks both the program and the budget in step, so
+    // every NAIM level still binds at CI sizes.
     let mut spec = spec_preset("gcc");
-    spec.modules = 24;
+    spec.modules = if args.smoke { 8 } else { 24 };
+    let budget = if args.smoke { 200 << 10 } else { 600 << 10 };
     let app = generate(&spec);
     let cc = compiler_for(&app);
     let db = train(&cc, &app).expect("train");
 
-    // Budget chosen so each successive NAIM level actually binds.
-    let budget = 600 << 10;
     let configs: [(&str, NaimConfig); 4] = [
         ("naim-off", NaimConfig::disabled()),
         (
@@ -44,19 +56,23 @@ fn main() {
         app.total_lines
     );
     println!(
-        "{:<14} {:>12} {:>11} {:>11} {:>12} {:>10} {:>10} {:>9}",
+        "{:<14} {:>12} {:>11} {:>11} {:>12} {:>11} {:>10} {:>10} {:>9}",
         "config",
         "peak bytes",
         "ms (-j1)",
         "ms (-j4)",
         "work units",
+        "fetch wu",
         "compacts",
         "expands",
         "offloads"
     );
     let mut rows = Vec::new();
+    let mut snapshot = BenchReport::new("fig5", args.smoke);
     let mut checksum = None;
     for (name, naim) in configs {
+        let fetch_cost = naim.fetch_cost_per_byte;
+        let disk_cost = naim.disk_cost_per_byte;
         let opts = BuildOptions::new(OptLevel::O4)
             .with_profile_db(db.clone())
             .with_selectivity(100.0)
@@ -69,27 +85,62 @@ fn main() {
         let m = &sweep[0].1;
         let report = &m.report;
         println!(
-            "{:<14} {:>12} {:>11.1} {:>11.1} {:>12} {:>10} {:>10} {:>9}",
+            "{:<14} {:>12} {:>11.1} {:>11.1} {:>12} {:>11} {:>10} {:>10} {:>9}",
             name,
             report.peak_bytes(),
             ms_j1,
             ms_j4,
             report.loader.work_units,
+            report.loader.fetch_work_units,
             report.loader.compactions,
             report.loader.uncompactions,
             report.loader.offload_writes,
         );
         rows.push(format!(
-            "{},{},{:.2},{:.2},{},{},{},{}",
+            "{},{},{:.2},{:.2},{},{},{},{},{}",
             name,
             report.peak_bytes(),
             ms_j1,
             ms_j4,
             report.loader.work_units,
+            report.loader.fetch_work_units,
             report.loader.compactions,
             report.loader.uncompactions,
             report.loader.offload_writes
         ));
+        let mut row = BenchRow::new(name);
+        row.int("peak_bytes", report.peak_bytes() as u64)
+            .int("compile_work", report.compile_work)
+            .int("work_units", report.loader.work_units)
+            .int("fetch_work_units", report.loader.fetch_work_units)
+            .int("compactions", report.loader.compactions)
+            .int("uncompactions", report.loader.uncompactions)
+            .int("offload_writes", report.loader.offload_writes)
+            .float("wall_ms_j1", ms_j1)
+            .float("wall_ms_j4", ms_j4);
+        if name == "offload" {
+            // The zero-copy fetch path charges fetch_cost_per_byte for
+            // every rehydrated byte; the legacy path charged the full
+            // disk_cost_per_byte copy. Same bytes, so the ratio of the
+            // two per-byte rates is exactly the work-unit reduction.
+            let fetch_wu = report.loader.fetch_work_units;
+            assert!(
+                fetch_wu > 0,
+                "offload config never rehydrated — budget too large"
+            );
+            let legacy_wu = fetch_wu / fetch_cost * disk_cost;
+            let cut_pct = 100.0 * (legacy_wu - fetch_wu) as f64 / legacy_wu as f64;
+            println!(
+                "zero-copy fetch: {fetch_wu} work units vs {legacy_wu} legacy \
+                 (copying) work units = {cut_pct:.1}% reduction"
+            );
+            assert!(
+                cut_pct >= 20.0,
+                "fetch/rehydrate work-unit reduction {cut_pct:.1}% below the 20% floor"
+            );
+            row.float("fetch_reduction_pct", cut_pct);
+        }
+        snapshot.rows.push(row);
         match checksum {
             None => checksum = Some(m.checksum),
             Some(c) => assert_eq!(c, m.checksum, "NAIM level must not change code"),
@@ -97,9 +148,12 @@ fn main() {
     }
     write_csv(
         "fig5_time_space.csv",
-        "config,peak_bytes,build_ms_j1,build_ms_j4,work_units,compactions,uncompactions,offload_writes",
+        "config,peak_bytes,build_ms_j1,build_ms_j4,work_units,fetch_work_units,compactions,uncompactions,offload_writes",
         &rows,
     );
+    if let Some(path) = &args.json_out {
+        snapshot.write(path);
+    }
     println!();
     println!("Paper (Figure 5): each successive NAIM level trades compile time");
     println!("for memory — expect peak bytes to fall monotonically down the");

@@ -17,14 +17,18 @@
 //! * `dirty1` — one module edited, front end re-runs for it alone.
 //!
 //! Run with `cargo run --release -p cmo-bench --bin fig7_incremental`.
+//! Flags: `--smoke` (quarter-scale app), `--json-out <path>` (write a
+//! `cmo.bench.v1` snapshot for `bench-diff`).
 
 use cmo::{BuildCache, BuildOptions, Compiler, OptLevel, Telemetry};
-use cmo_bench::write_csv;
+use cmo_bench::{bench_args, write_csv, BenchReport, BenchRow};
 use cmo_synth::{generate, mcad_preset};
 use std::time::Instant;
 
 fn main() {
-    let app = generate(&mcad_preset("mcad1", 0.5));
+    let args = bench_args();
+    let scale = if args.smoke { 0.25 } else { 0.5 };
+    let app = generate(&mcad_preset("mcad1", scale));
     let cache_dir = std::env::temp_dir().join(format!("cmo-fig7-cache-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&cache_dir);
     let options = BuildOptions::new(OptLevel::O4);
@@ -42,6 +46,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut json_rows: Vec<BenchRow> = Vec::new();
     let mut baseline = None;
     let mut build = |scenario: &str, modules: &[(String, String)]| {
         let t0 = Instant::now();
@@ -77,6 +82,17 @@ fn main() {
             out.report.compile_work,
             speedup
         ));
+        let unified = out.compile_report();
+        let mut row = BenchRow::new(scenario);
+        row.int("frontend_hits", hits as u64)
+            .int("build_replayed", u64::from(replayed))
+            .int("compile_work", out.report.compile_work)
+            .int("work_units", out.report.loader.work_units)
+            .int("fetch_work_units", out.report.loader.fetch_work_units)
+            .int("peak_bytes", unified.peak_bytes() as u64)
+            .float("wall_ms", ms)
+            .float("speedup_vs_cold", speedup);
+        json_rows.push(row);
     };
 
     build("cold", &app.modules);
@@ -110,6 +126,11 @@ fn main() {
         "scenario,frontend_hits,build_replayed,build_ms,work_units,speedup_vs_cold",
         &rows,
     );
+    if let Some(path) = &args.json_out {
+        let mut snapshot = BenchReport::new("fig7", args.smoke);
+        snapshot.rows = json_rows;
+        snapshot.write(path);
+    }
     let _ = std::fs::remove_dir_all(&cache_dir);
     println!();
     println!("A warm rebuild replays the image and report from the cache (§6.1's");

@@ -15,6 +15,10 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
+pub mod json;
+
+pub use json::{bench_args, parse_json, BenchArgs, BenchReport, BenchRow, BenchValue, Json};
+
 /// One build + one reference run, with wall-clock compile time.
 #[derive(Debug)]
 pub struct Measured {

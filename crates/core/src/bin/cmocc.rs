@@ -25,6 +25,10 @@
 //!                      replays the linked image and report
 //!   --no-cache         explicitly disable caching (conflicts with
 //!                      --cache-dir)
+//!   --no-mmap          disable the repository's memory-mapped read
+//!                      path; fetches copy through an arena buffer
+//!                      instead (reports are byte-identical either
+//!                      way; requires --cache-dir)
 //!   --keep-going       degraded mode: a failing module becomes a
 //!                      diagnostic, the remaining modules still build
 //!                      (and cache); the image links only if all
@@ -49,8 +53,8 @@
 //! | 101 | internal bug (uncontained panic) |
 
 use cmo::{
-    build_objects_cached, BuildCache, BuildError, BuildOptions, CompileReport, FaultStats,
-    NaimConfig, OptLevel, ProfileDb, Telemetry, TraceEvent,
+    build_objects_cached, BuildCache, BuildError, BuildOptions, CompileReport, DiskStorage,
+    FaultStats, NaimConfig, OptLevel, ProfileDb, Telemetry, TraceEvent,
 };
 use cmo_ir::IlObject;
 use std::path::{Path, PathBuf};
@@ -74,6 +78,7 @@ struct Cli {
     trace: Option<PathBuf>,
     cache_dir: Option<PathBuf>,
     no_cache: bool,
+    no_mmap: bool,
     keep_going: bool,
     isolate: bool,
 }
@@ -95,8 +100,8 @@ impl From<String> for Failure {
 fn usage() -> String {
     "usage: cmocc [-c] [+O1|+O2|+O4] [+P <db>] [+I] [--sel <pct>] [--budget <MiB>] \
      [-j <N>] [--shards <N>] [--run <v1,v2,..>] [--profile-out <f>] [--emit-asm] [--report] \
-     [--report-json <f>] [--trace <f>] [--cache-dir <dir>] [--no-cache] [--keep-going] \
-     [--isolate] <files...>"
+     [--report-json <f>] [--trace <f>] [--cache-dir <dir>] [--no-cache] [--no-mmap] \
+     [--keep-going] [--isolate] <files...>"
         .to_owned()
 }
 
@@ -124,6 +129,12 @@ fn validate(cli: &Cli) -> Result<(), String> {
     }
     if cli.no_cache && cli.cache_dir.is_some() {
         return Err("--no-cache conflicts with --cache-dir: pick one caching behaviour".to_owned());
+    }
+    if cli.no_mmap && cli.cache_dir.is_none() {
+        return Err(
+            "--no-mmap requires --cache-dir (it selects how the cache repository reads records)"
+                .to_owned(),
+        );
     }
     if cli.profile_out.is_some() && cli.run.is_none() {
         return Err("--profile-out requires --run (profiles come from executing main)".to_owned());
@@ -168,6 +179,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         trace: None,
         cache_dir: None,
         no_cache: false,
+        no_mmap: false,
         keep_going: false,
         isolate: false,
     };
@@ -241,6 +253,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--trace" => cli.trace = Some(PathBuf::from(next("a path")?)),
             "--cache-dir" => cli.cache_dir = Some(PathBuf::from(next("a directory")?)),
             "--no-cache" => cli.no_cache = true,
+            "--no-mmap" => cli.no_mmap = true,
             "--keep-going" => cli.keep_going = true,
             "--isolate" => cli.isolate = true,
             "-h" | "--help" => return Err(usage()),
@@ -576,10 +589,15 @@ fn run_cli(cli: &Cli) -> Result<u8, Failure> {
         Telemetry::disabled()
     };
     let mut bcache = match &cli.cache_dir {
-        Some(dir) => Some(
-            BuildCache::open_traced(dir, &tel)
-                .map_err(|e| format!("cannot open cache at {}: {e}", dir.display()))?,
-        ),
+        Some(dir) => {
+            let storage = DiskStorage::new(dir)
+                .map_err(|e| format!("cannot open cache at {}: {e}", dir.display()))?
+                .with_mmap(!cli.no_mmap);
+            Some(
+                BuildCache::open_on(std::sync::Arc::new(storage), &tel)
+                    .map_err(|e| format!("cannot open cache at {}: {e}", dir.display()))?,
+            )
+        }
         None => None,
     };
     let mut faults = FaultStats::default();

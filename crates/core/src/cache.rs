@@ -65,7 +65,7 @@ use crate::report::CompileReport;
 /// Cache format epoch. Bumped whenever fingerprint inputs, the entry
 /// encoding, or the manifest layout change, so stale caches from
 /// earlier compiler builds miss cleanly instead of decoding garbage.
-pub const CACHE_FORMAT: u32 = 2;
+pub const CACHE_FORMAT: u32 = 3;
 
 /// First line of `manifest.tsv`.
 const MANIFEST_SCHEMA: &str = "cmo.cache.v1";
@@ -655,6 +655,7 @@ pub fn options_signature(options: &BuildOptions) -> String {
     enc.write_usize(n.cache_pools);
     enc.write_u64(n.compact_cost_per_byte);
     enc.write_u64(n.disk_cost_per_byte);
+    enc.write_u64(n.fetch_cost_per_byte);
     match &options.profile {
         Some(db) => {
             enc.write_bool(true);

@@ -157,6 +157,7 @@ impl CompileReport {
         w.field_u64("bytes_swizzled", self.loader.bytes_swizzled);
         w.field_u64("bytes_offloaded", self.loader.bytes_offloaded);
         w.field_u64("work_units", self.loader.work_units);
+        w.field_u64("fetch_work_units", self.loader.fetch_work_units);
         w.end_obj();
 
         w.begin_obj(Some("memory"));
@@ -243,6 +244,7 @@ impl CompileReport {
         enc.write_u64(self.loader.bytes_swizzled);
         enc.write_u64(self.loader.bytes_offloaded);
         enc.write_u64(self.loader.work_units);
+        enc.write_u64(self.loader.fetch_work_units);
         for v in self.memory.current {
             enc.write_usize(v);
         }
@@ -298,6 +300,7 @@ impl CompileReport {
             bytes_swizzled: dec.read_u64()?,
             bytes_offloaded: dec.read_u64()?,
             work_units: dec.read_u64()?,
+            fetch_work_units: dec.read_u64()?,
         };
         let mut current = [0usize; 4];
         for slot in &mut current {

@@ -324,6 +324,59 @@ fn jobs_flag_reproduces_report_and_trace_byte_for_byte() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The memory-mapped read path is a pure transport optimization: cold
+/// and warm cached builds produce byte-identical reports with mmap on
+/// and off, at -j1 and -j4 (the cost model charges fetches by length,
+/// never by how the bytes arrived).
+#[test]
+fn mmap_toggle_reproduces_reports_byte_for_byte() {
+    let dir = workdir("mmap");
+    let lib = dir.join("lib.mlc");
+    let app = dir.join("app.mlc");
+    std::fs::write(&lib, LIB).unwrap();
+    std::fs::write(&app, APP).unwrap();
+
+    let emit = |tag: &str, jflag: &str, extra: &[&str]| -> String {
+        let report = dir.join(format!("report-{tag}.json"));
+        let cache = dir.join(format!(
+            "cache-{}",
+            if extra.is_empty() { "on" } else { "off" }
+        ));
+        let out = cmocc()
+            .args(["+O4", jflag, "--budget", "0", "--cache-dir"])
+            .arg(&cache)
+            .args(extra)
+            .arg("--report-json")
+            .arg(&report)
+            .arg(&lib)
+            .arg(&app)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(&report).unwrap()
+    };
+
+    let on_cold = emit("on-cold", "-j1", &[]);
+    let on_warm = emit("on-warm", "-j4", &[]);
+    let off_cold = emit("off-cold", "-j1", &["--no-mmap"]);
+    let off_warm = emit("off-warm", "-j4", &["--no-mmap"]);
+    assert_eq!(on_cold, on_warm, "warm report differs from cold (mmap on)");
+    assert_eq!(
+        off_cold, off_warm,
+        "warm report differs from cold (mmap off)"
+    );
+    assert_eq!(on_cold, off_cold, "--no-mmap changed the report");
+
+    // --no-mmap is a cache-transport switch; alone it is an error.
+    let out = cmocc().arg("--no-mmap").arg(&app).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn compile_only_messages_follow_input_order_at_any_jobs() {
     let dir = workdir("corder");

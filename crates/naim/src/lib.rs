@@ -66,6 +66,7 @@ mod arena;
 mod encode;
 mod error;
 mod loader;
+mod mmap;
 mod pid;
 mod repository;
 mod sharded;
@@ -79,6 +80,7 @@ pub use loader::{
     Loader, LoaderStats, NaimConfig, NaimLevel, PoolId, PoolKind, PoolState, Relocatable,
     Thresholds,
 };
+pub use mmap::MapView;
 pub use pid::Pid;
 pub use repository::{
     crc32, ContentHash, MemBackend, RepoBackend, RepoHandle, RepoRecovery, RepoStats, Repository,

@@ -138,6 +138,14 @@ pub struct NaimConfig {
     pub compact_cost_per_byte: u64,
     /// Simulated cost (work units) per byte moved to or from disk.
     pub disk_cost_per_byte: u64,
+    /// Simulated cost (work units) per byte fetched back from the
+    /// repository. Cheaper than [`NaimConfig::disk_cost_per_byte`]
+    /// because the read path is zero-copy: records are borrowed from
+    /// the backend's view (or read once into a reusable arena) and
+    /// swizzled in place, never materializing an owned compact copy.
+    /// The cost is charged identically whether a real memory map backs
+    /// the view, so reports do not depend on the transport.
+    pub fetch_cost_per_byte: u64,
     /// Number of shards a [`crate::ShardedLoader`] splits its pools
     /// across. Ignored by a plain [`Loader`]. Must be at least 1; the
     /// memory budget and thresholds stay program-wide regardless
@@ -158,6 +166,7 @@ impl NaimConfig {
             cache_pools: 16,
             compact_cost_per_byte: 1,
             disk_cost_per_byte: 4,
+            fetch_cost_per_byte: 2,
             shards: 1,
         }
     }
@@ -224,6 +233,10 @@ pub struct LoaderStats {
     pub bytes_offloaded: u64,
     /// Simulated compile-time cost of all NAIM activity, in work units.
     pub work_units: u64,
+    /// The share of [`LoaderStats::work_units`] spent fetching records
+    /// back from the repository — the quantity the zero-copy read path
+    /// reduces, tracked separately so the perf harness can watch it.
+    pub fetch_work_units: u64,
 }
 
 #[derive(Debug)]
@@ -313,6 +326,9 @@ pub struct Loader<T, B = MemBackend> {
     /// Distance in global-id space between consecutive local pools
     /// (shard count within a sharded loader; 1 standalone).
     id_stride: u32,
+    /// Set once the first zero-copy fetch has been announced in the
+    /// trace, so the mmap event fires at most once per loader.
+    mmap_announced: bool,
 }
 
 /// Trace-event kind string for a pool kind.
@@ -344,6 +360,7 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
             telemetry: Telemetry::disabled(),
             id_base: 0,
             id_stride: 1,
+            mmap_announced: false,
         }
     }
 
@@ -367,6 +384,7 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
             telemetry: Telemetry::disabled(),
             id_base,
             id_stride: id_stride.max(1),
+            mmap_announced: false,
         }
     }
 
@@ -516,24 +534,55 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
     fn expand(&mut self, id: PoolId) -> Result<(), NaimError> {
         let idx = id.index();
         let kind = kind_str(self.slots[idx].kind);
-        // Bring offloaded data back into memory first.
+        let pool = self.external_id(idx);
+        // Offloaded pools rehydrate in one pass: the record is borrowed
+        // from the repository (zero-copy when the backend serves views,
+        // the reusable scratch arena otherwise) and eagerly swizzled
+        // straight to expanded form, never materializing an owned
+        // compact copy in between.
         if let State::Offloaded(handle) = self.slots[idx].state {
-            let image = self.repo.fetch(handle)?;
-            let cost = image.len() as u64 * self.config.disk_cost_per_byte;
+            let zc_before = self.repo.stats().zero_copy_reads;
+            let image = self.repo.fetch_ref(handle)?;
+            let image_len = image.len();
+            let mut dec = Decoder::new(image);
+            let value = T::uncompact(&mut dec)?;
+            let size = value.expanded_bytes();
+            let fetch_cost = image_len as u64 * self.config.fetch_cost_per_byte;
+            let swizzle_cost = image_len as u64 * self.config.compact_cost_per_byte;
+            if !self.mmap_announced && self.repo.stats().zero_copy_reads > zc_before {
+                self.mmap_announced = true;
+                self.telemetry.emit(TraceEvent::Mmap {
+                    action: "zero-copy",
+                    bytes: image_len as u64,
+                });
+            }
             self.stats.offload_reads += 1;
-            self.stats.bytes_offloaded += image.len() as u64;
-            self.stats.work_units += cost;
-            self.telemetry.work(cost);
+            self.stats.bytes_offloaded += image_len as u64;
+            self.stats.fetch_work_units += fetch_cost;
+            self.stats.uncompactions += 1;
+            self.stats.bytes_swizzled += image_len as u64;
+            self.stats.work_units += fetch_cost + swizzle_cost;
+            self.telemetry.work(fetch_cost);
             self.telemetry.emit(TraceEvent::Pool {
                 action: "fetch",
-                pool: self.external_id(idx),
+                pool,
                 kind,
-                bytes: image.len() as u64,
+                bytes: image_len as u64,
                 lru_pos: 0,
             });
-            self.accountant
-                .add(MemClass::TransitoryCompact, image.len());
-            self.slots[idx].state = State::Compact(image);
+            self.telemetry.work(swizzle_cost);
+            self.telemetry.emit(TraceEvent::Pool {
+                action: "expand",
+                pool,
+                kind,
+                bytes: image_len as u64,
+                lru_pos: 0,
+            });
+            self.accountant.add(MemClass::TransitoryExpanded, size);
+            let slot = &mut self.slots[idx];
+            slot.expanded_size = size;
+            slot.state = State::Expanded(value);
+            return Ok(());
         }
         if let State::Compact(image) = &self.slots[idx].state {
             let mut dec = Decoder::new(image);
@@ -793,45 +842,60 @@ impl<T: Relocatable, B: RepoBackend> Loader<T, B> {
         let t_st = (budget * self.config.thresholds.st_compaction) as usize;
         let t_off = (budget * self.config.thresholds.offload) as usize;
 
+        // Each phase computes its victim order once and walks it in one
+        // batch. Compacting (or offloading) a pool never reorders the
+        // surviving candidates — a compacted slot merely leaves the
+        // pending set, and offloading never changes another slot's
+        // size — so the batch picks exactly the victims the old
+        // one-victim-per-scan loops did, without rescanning every slot
+        // per eviction.
         if self.config.max_level >= NaimLevel::CompactIr {
-            // Compact pending IR pools while over the IR threshold, or
-            // while the pending cache holds more pools than allowed.
-            loop {
-                let over_bytes = self.accountant.total() > t_ir;
-                let pending = self.pending_lru(PoolKind::Ir);
-                let over_cache = over_bytes && pending.len() > self.config.cache_pools;
-                if !(over_bytes || over_cache) {
+            // Compact pending IR pools while over the IR threshold.
+            for idx in self.pending_lru(PoolKind::Ir) {
+                if self.accountant.total() <= t_ir {
                     break;
                 }
-                match pending.first() {
-                    Some(&idx) => self.compact_slot(idx),
-                    None => break,
-                }
+                self.compact_slot(idx);
             }
         }
         if self.config.max_level >= NaimLevel::CompactAll {
-            while self.accountant.total() > t_st {
-                match self.pending_lru(PoolKind::SymTab).first() {
-                    Some(&idx) => self.compact_slot(idx),
-                    None => break,
+            for idx in self.pending_lru(PoolKind::SymTab) {
+                if self.accountant.total() <= t_st {
+                    break;
                 }
+                self.compact_slot(idx);
             }
         }
         if self.config.max_level >= NaimLevel::Offload {
-            while self.accountant.total() > t_off {
-                // Offload the largest compacted images first: maximum
-                // reclaimed memory per disk operation.
-                let victim = self
-                    .slots
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| matches!(s.state, State::Compact(_)))
-                    .max_by_key(|(i, s)| (s.compact_size, usize::MAX - i));
-                match victim {
-                    Some((idx, _)) => self.offload_slot(idx)?,
-                    None => break,
+            // Offload the largest compacted images first: maximum
+            // reclaimed memory per disk operation (ties to the earliest
+            // slot, matching the old scan's preference).
+            let mut candidates: Vec<usize> = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s.state, State::Compact(_)))
+                .map(|(i, _)| i)
+                .collect();
+            candidates.sort_by_key(|&i| (std::cmp::Reverse(self.slots[i].compact_size), i));
+            for idx in candidates {
+                if self.accountant.total() <= t_off {
+                    break;
                 }
+                self.offload_slot(idx)?;
             }
+        }
+        // The sweep is over: whatever the fetch arena accumulated since
+        // the last sweep is returned to the allocator so rehydration
+        // scratch never outlives the eviction wave that used it. The
+        // byte count is transport-independent, keeping traces identical
+        // with mmap on and off at a given -j.
+        let served = self.repo.recycle_arena();
+        if served > 0 {
+            self.telemetry.emit(TraceEvent::Arena {
+                action: "recycle",
+                bytes: served,
+            });
         }
         Ok(())
     }

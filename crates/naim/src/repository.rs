@@ -190,6 +190,45 @@ pub trait RepoBackend {
     ///
     /// Returns any underlying I/O failure.
     fn truncate(&mut self, len: u64) -> std::io::Result<()>;
+
+    /// Prepares a borrowed view covering `offset..offset + len`,
+    /// returning whether [`RepoBackend::view`] will serve that range.
+    ///
+    /// This is split from `view` so callers can branch on the answer
+    /// before taking the borrow (the borrow of a returned slice must
+    /// not overlap the mutable fallback read). The default declines,
+    /// which sends every read down the copying [`RepoBackend::read_at`]
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O failure while establishing the view.
+    fn ensure_view(&mut self, _offset: u64, _len: usize) -> std::io::Result<bool> {
+        Ok(false)
+    }
+
+    /// Borrows `len` bytes at `offset` from the view most recently
+    /// established by [`RepoBackend::ensure_view`]. Returns `None` when
+    /// the range is not covered.
+    fn view(&self, _offset: u64, _len: usize) -> Option<&[u8]> {
+        None
+    }
+
+    /// Reads `len` bytes at `offset` into `buf`, reusing its capacity.
+    ///
+    /// The default round-trips through [`RepoBackend::read_at`];
+    /// backends that can fill the buffer in place override it to make
+    /// the fallback fetch path allocation-free in steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O failure, including short reads.
+    fn read_into(&mut self, offset: u64, len: usize, buf: &mut Vec<u8>) -> std::io::Result<()> {
+        let data = self.read_at(offset, len)?;
+        buf.clear();
+        buf.extend_from_slice(&data);
+        Ok(())
+    }
 }
 
 /// In-memory backend; useful for tests and for measuring offload traffic
@@ -246,6 +285,30 @@ impl RepoBackend for MemBackend {
         self.data.truncate(len as usize);
         Ok(())
     }
+
+    fn ensure_view(&mut self, offset: u64, len: usize) -> std::io::Result<bool> {
+        let end = (offset as usize).checked_add(len);
+        Ok(end.is_some_and(|e| e <= self.data.len()))
+    }
+
+    fn view(&self, offset: u64, len: usize) -> Option<&[u8]> {
+        let start = offset as usize;
+        self.data.get(start..start.checked_add(len)?)
+    }
+
+    fn read_into(&mut self, offset: u64, len: usize, buf: &mut Vec<u8>) -> std::io::Result<()> {
+        match self.view(offset, len) {
+            Some(data) => {
+                buf.clear();
+                buf.extend_from_slice(data);
+                Ok(())
+            }
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "repository read past end",
+            )),
+        }
+    }
 }
 
 impl RepoBackend for File {
@@ -269,6 +332,13 @@ impl RepoBackend for File {
     fn truncate(&mut self, len: u64) -> std::io::Result<()> {
         self.set_len(len)
     }
+
+    fn read_into(&mut self, offset: u64, len: usize, buf: &mut Vec<u8>) -> std::io::Result<()> {
+        self.seek(SeekFrom::Start(offset))?;
+        buf.clear();
+        buf.resize(len, 0);
+        self.read_exact(buf)
+    }
 }
 
 /// Statistics on repository traffic, used by the Figure 5 experiment.
@@ -284,6 +354,11 @@ pub struct RepoStats {
     pub bytes_read: u64,
     /// Stores satisfied by an existing identical record (no write).
     pub dedup_hits: u64,
+    /// Reads served as borrowed slices straight from a backend view
+    /// (no payload copy). Transport-dependent — mmap availability and
+    /// platform change it — so it never flows into compile reports,
+    /// which must stay byte-identical with mmap on and off.
+    pub zero_copy_reads: u64,
 }
 
 /// What [`Repository::open_backend`] had to repair: trailing bytes that
@@ -319,6 +394,13 @@ pub struct Repository<B = MemBackend> {
     by_hash: HashMap<ContentHash, u32>,
     stats: RepoStats,
     recovery: Option<RepoRecovery>,
+    /// Reusable fetch buffer: when the backend cannot serve a borrowed
+    /// view, [`Repository::fetch_ref`] reads into this arena instead of
+    /// allocating per fetch. Recycled by [`Repository::recycle_arena`].
+    scratch: Vec<u8>,
+    /// Bytes served by `fetch_ref` since the last recycle, counted the
+    /// same on the view and the copy path (mode-independent).
+    arena_served: u64,
 }
 
 impl Repository<MemBackend> {
@@ -398,6 +480,8 @@ impl<B: RepoBackend> Repository<B> {
             by_hash: HashMap::new(),
             stats: RepoStats::default(),
             recovery: None,
+            scratch: Vec::new(),
+            arena_served: 0,
         }
     }
 
@@ -421,6 +505,8 @@ impl<B: RepoBackend> Repository<B> {
             by_hash: HashMap::new(),
             stats: RepoStats::default(),
             recovery: None,
+            scratch: Vec::new(),
+            arena_served: 0,
         })
     }
 
@@ -457,6 +543,8 @@ impl<B: RepoBackend> Repository<B> {
             by_hash: HashMap::new(),
             stats: RepoStats::default(),
             recovery: None,
+            scratch: Vec::new(),
+            arena_served: 0,
         };
         if !repo.load_index_from_footer(size)? {
             let valid_end = repo.scan_records(size)?;
@@ -657,6 +745,87 @@ impl<B: RepoBackend> Repository<B> {
         Ok(data)
     }
 
+    /// Fetches a pool image as a borrowed slice, CRC-verified like
+    /// [`Repository::fetch`] but without handing ownership to the
+    /// caller: when the backend serves views (memory-mapped file,
+    /// in-memory store) the bytes come straight from the mapping with
+    /// no copy; otherwise they are read into the repository's reusable
+    /// scratch arena. Either way the slice is only valid until the next
+    /// `&mut self` call.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Repository::fetch`].
+    pub fn fetch_ref(&mut self, handle: RepoHandle) -> Result<&[u8], NaimError> {
+        let Some(meta) = self.records.get(handle.id as usize).copied() else {
+            return Err(NaimError::UnknownPool { pool: handle.id });
+        };
+        let size = self.backend.size()?;
+        let end = meta.payload_offset + u64::from(meta.len);
+        if end > size {
+            return Err(NaimError::RepoTruncated {
+                record: handle.id,
+                wanted: u64::from(meta.len),
+                got: size.saturating_sub(meta.payload_offset),
+            });
+        }
+        if self
+            .backend
+            .ensure_view(meta.payload_offset, meta.len as usize)?
+        {
+            let data = self
+                .backend
+                .view(meta.payload_offset, meta.len as usize)
+                .expect("ensure_view covered this range");
+            let computed = crc32(data);
+            if computed != meta.crc {
+                return Err(NaimError::RepoChecksum {
+                    record: handle.id,
+                    stored: meta.crc,
+                    computed,
+                });
+            }
+            self.stats.reads += 1;
+            self.stats.bytes_read += u64::from(meta.len);
+            self.stats.zero_copy_reads += 1;
+            self.arena_served += u64::from(meta.len);
+            return Ok(data);
+        }
+        // Fallback: pread into the scratch arena, reusing its capacity.
+        self.backend
+            .read_into(meta.payload_offset, meta.len as usize, &mut self.scratch)
+            .map_err(NaimError::Repository)?;
+        let computed = crc32(&self.scratch);
+        if computed != meta.crc {
+            return Err(NaimError::RepoChecksum {
+                record: handle.id,
+                stored: meta.crc,
+                computed,
+            });
+        }
+        self.stats.reads += 1;
+        self.stats.bytes_read += u64::from(meta.len);
+        self.arena_served += u64::from(meta.len);
+        Ok(&self.scratch)
+    }
+
+    /// Bytes served through [`Repository::fetch_ref`] since the scratch
+    /// arena was last recycled. Counted identically on the zero-copy
+    /// and the fallback path, so the number is transport-independent.
+    #[must_use]
+    pub fn arena_served(&self) -> u64 {
+        self.arena_served
+    }
+
+    /// Recycles the scratch arena: releases the fallback buffer's
+    /// memory and returns (and resets) the served-byte counter. The
+    /// loader calls this at the end of each enforcement sweep so the
+    /// arena never outlives the eviction wave that filled it.
+    pub fn recycle_arena(&mut self) -> u64 {
+        self.scratch = Vec::new();
+        std::mem::take(&mut self.arena_served)
+    }
+
     /// Looks up a stored record by content hash, the cross-run address
     /// used by the incremental-build cache manifest.
     #[must_use]
@@ -800,6 +969,53 @@ mod tests {
         assert_eq!(s.writes, 2);
         assert_eq!(s.reads, 2);
         assert_eq!(s.bytes_written, 9);
+    }
+
+    #[test]
+    fn fetch_ref_borrows_zero_copy_from_mem_backend() {
+        let mut repo = Repository::in_memory();
+        let h = repo.store(b"zero copy payload").unwrap();
+        assert_eq!(repo.fetch_ref(h).unwrap(), b"zero copy payload");
+        let s = repo.stats();
+        assert_eq!((s.reads, s.zero_copy_reads), (1, 1));
+        assert_eq!(s.bytes_read, 17);
+        assert_eq!(repo.arena_served(), 17);
+        assert_eq!(repo.recycle_arena(), 17);
+        assert_eq!(repo.arena_served(), 0);
+    }
+
+    #[test]
+    fn fetch_ref_falls_back_to_scratch_without_views() {
+        let dir = temp_dir("fetchref-fallback");
+        let path = dir.join("repo.bin");
+        let mut repo = Repository::create(&path).unwrap();
+        let h = repo.store(&[42u8; 500]).unwrap();
+        // The plain File backend serves no views, so this exercises the
+        // pread-into-arena path; the bytes and stats must match anyway.
+        assert_eq!(repo.fetch_ref(h).unwrap(), &[42u8; 500][..]);
+        assert_eq!(repo.fetch_ref(h).unwrap(), &[42u8; 500][..]);
+        let s = repo.stats();
+        assert_eq!((s.reads, s.zero_copy_reads), (2, 0));
+        assert_eq!(repo.arena_served(), 1000);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fetch_ref_detects_corruption_like_fetch() {
+        let dir = temp_dir("fetchref-crc");
+        let path = dir.join("repo.bin");
+        let mut repo = Repository::create(&path).unwrap();
+        let h = repo.store(b"payload under test").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = repo.fetch_ref(h).unwrap_err();
+        assert!(matches!(err, NaimError::RepoChecksum { record, .. } if record == h.id()));
+        // Failed fetches count nothing, same as the owned path.
+        assert_eq!(repo.stats().reads, 0);
+        assert_eq!(repo.arena_served(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

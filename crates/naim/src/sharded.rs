@@ -275,6 +275,7 @@ impl<T: Relocatable, B: RepoBackend> ShardedLoader<T, B> {
             sum.bytes_swizzled += s.bytes_swizzled;
             sum.bytes_offloaded += s.bytes_offloaded;
             sum.work_units += s.work_units;
+            sum.fetch_work_units += s.fetch_work_units;
         }
         sum
     }

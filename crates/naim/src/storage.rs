@@ -26,6 +26,7 @@ use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
+use crate::mmap::MapView;
 use crate::repository::RepoBackend;
 
 /// A small named-file store: the I/O boundary for all persistent state.
@@ -103,16 +104,34 @@ pub trait Storage: fmt::Debug + Send + Sync {
     ///
     /// Returns any underlying I/O failure, including a missing file.
     fn remove(&self, name: &str) -> io::Result<()>;
+
+    /// Returns a read-only [`MapView`] of `name`'s entire current
+    /// contents, or `Ok(None)` when this storage does not serve views.
+    ///
+    /// The default declines: callers then fall back to [`Storage::read_at`],
+    /// so wrappers that meter or perturb the operation stream (the fault
+    /// injector in particular) keep their op-indexed schedules unchanged
+    /// by simply not overriding this.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O failure, including a missing file.
+    fn map(&self, _name: &str) -> io::Result<Option<MapView>> {
+        Ok(None)
+    }
 }
 
 /// Real-filesystem storage rooted at a directory.
 #[derive(Debug)]
 pub struct DiskStorage {
     root: PathBuf,
+    mmap: bool,
 }
 
 impl DiskStorage {
-    /// Opens (creating if needed) the directory `root`.
+    /// Opens (creating if needed) the directory `root`. Memory-mapped
+    /// views are served where the platform supports them; disable with
+    /// [`DiskStorage::with_mmap`].
     ///
     /// # Errors
     ///
@@ -120,7 +139,17 @@ impl DiskStorage {
     pub fn new<P: AsRef<Path>>(root: P) -> io::Result<Self> {
         let root = root.as_ref().to_path_buf();
         std::fs::create_dir_all(&root)?;
-        Ok(DiskStorage { root })
+        Ok(DiskStorage { root, mmap: true })
+    }
+
+    /// Enables or disables memory-mapped views. With mmap off every
+    /// read goes through the `pread`-style copy path; reports and
+    /// traces are byte-identical either way (the cost model charges
+    /// fetches by length, not by transport).
+    #[must_use]
+    pub fn with_mmap(mut self, enabled: bool) -> Self {
+        self.mmap = enabled;
+        self
     }
 
     /// The directory this storage lives in.
@@ -184,6 +213,23 @@ impl Storage for DiskStorage {
 
     fn remove(&self, name: &str) -> io::Result<()> {
         std::fs::remove_file(self.path(name))
+    }
+
+    fn map(&self, name: &str) -> io::Result<Option<MapView>> {
+        if !self.mmap {
+            return Ok(None);
+        }
+        #[cfg(unix)]
+        {
+            let file = File::open(self.path(name))?;
+            // A refused mapping (exotic filesystem, resource limits) is
+            // not an error — the caller just reads the slow way.
+            Ok(MapView::map_file(&file).ok())
+        }
+        #[cfg(not(unix))]
+        {
+            Ok(None)
+        }
     }
 }
 
@@ -288,6 +334,13 @@ impl Storage for MemStorage {
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| Self::missing(name))
+    }
+
+    fn map(&self, name: &str) -> io::Result<Option<MapView>> {
+        // A copied snapshot: callers treat views as immutable and
+        // re-request them after any size change, so this behaves like
+        // the real mapping.
+        Ok(Some(MapView::copied(self.read(name)?)))
     }
 }
 
@@ -630,11 +683,16 @@ impl Storage for FaultyStorage {
 }
 
 /// Adapts one named file of a [`Storage`] to the repository's
-/// [`RepoBackend`] interface.
+/// [`RepoBackend`] interface, caching a read-only [`MapView`] so
+/// repeated fetches borrow straight from the mapping.
 #[derive(Debug)]
 pub struct StorageFile {
     storage: Arc<dyn Storage>,
     name: String,
+    /// Cached view of a prefix of the file. Appends leave it valid for
+    /// its covered range (the repository is append-only); it is dropped
+    /// on truncate and re-requested when a read falls past its end.
+    view: Option<MapView>,
 }
 
 impl StorageFile {
@@ -644,6 +702,7 @@ impl StorageFile {
         StorageFile {
             storage,
             name: name.into(),
+            view: None,
         }
     }
 }
@@ -665,12 +724,30 @@ impl RepoBackend for StorageFile {
     }
 
     fn truncate(&mut self, len: u64) -> io::Result<()> {
+        // The cached mapping may cover pages past the new end; faulting
+        // them in after the truncate would be undefined, so drop it.
+        self.view = None;
         if len == 0 && !self.storage.exists(&self.name) {
             // Truncating a not-yet-created file to empty creates it
             // (Repository::create_backend starts from nothing).
             return self.storage.write(&self.name, &[]);
         }
         self.storage.truncate(&self.name, len)
+    }
+
+    fn ensure_view(&mut self, offset: u64, len: usize) -> io::Result<bool> {
+        let end = offset as usize + len;
+        if self.view.as_ref().is_some_and(|v| v.len() >= end) {
+            return Ok(true);
+        }
+        // Stale or missing: re-request a view of the grown file.
+        self.view = self.storage.map(&self.name)?;
+        Ok(self.view.as_ref().is_some_and(|v| v.len() >= end))
+    }
+
+    fn view(&self, offset: u64, len: usize) -> Option<&[u8]> {
+        let start = offset as usize;
+        self.view.as_deref()?.get(start..start + len)
     }
 }
 
@@ -829,5 +906,41 @@ mod tests {
         assert_eq!(file.read_at(2, 3).unwrap(), b"cde");
         file.truncate(4).unwrap();
         assert_eq!(file.size().unwrap(), 4);
+    }
+
+    #[test]
+    fn storage_file_serves_views_and_refreshes_after_growth() {
+        let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        let mut file = StorageFile::new(Arc::clone(&storage), "repo.naim");
+        file.append(b"abcdef").unwrap();
+        assert!(file.ensure_view(0, 6).unwrap());
+        assert_eq!(file.view(2, 3).unwrap(), b"cde");
+        // Beyond the cached view: declined until re-ensured.
+        assert!(file.view(0, 7).is_none());
+        file.append(b"ghi").unwrap();
+        assert!(file.ensure_view(6, 3).unwrap());
+        assert_eq!(file.view(6, 3).unwrap(), b"ghi");
+        // Truncation drops the cached view entirely.
+        file.truncate(4).unwrap();
+        assert!(file.view(0, 1).is_none());
+        assert!(!file.ensure_view(0, 5).unwrap());
+        assert!(file.ensure_view(0, 4).unwrap());
+    }
+
+    #[test]
+    fn faulty_storage_never_serves_views() {
+        // The fault injector's schedules are op-indexed; serving views
+        // would let readers bypass metered `read_at` calls and shift
+        // every later kill point. The default `map` declines.
+        let faulty = FaultyStorage::new(Arc::new(MemStorage::new()));
+        faulty.write("f", b"bytes").unwrap();
+        assert!(faulty.map("f").unwrap().is_none());
+        let mut file = StorageFile::new(
+            Arc::new(FaultyStorage::new(Arc::new(MemStorage::new()))),
+            "f",
+        );
+        file.append(b"bytes").unwrap();
+        assert!(!file.ensure_view(0, 5).unwrap());
+        assert!(file.view(0, 5).is_none());
     }
 }

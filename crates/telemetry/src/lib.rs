@@ -207,6 +207,24 @@ pub enum TraceEvent {
         /// The panic payload (message), when it was a string.
         payload: String,
     },
+    /// Rehydration-arena activity in the NAIM loader.
+    Arena {
+        /// What happened: `"recycle"` (the fetch arena was returned to
+        /// the allocator at the end of an enforcement sweep).
+        action: &'static str,
+        /// Bytes the arena served since the previous recycle. Counted
+        /// identically on the zero-copy and the copying fetch path, so
+        /// the value does not depend on the storage transport.
+        bytes: u64,
+    },
+    /// Zero-copy storage-view activity in the NAIM repository.
+    Mmap {
+        /// What happened: `"zero-copy"` (the first repository fetch
+        /// served as a borrowed slice from a storage view).
+        action: &'static str,
+        /// Bytes of the fetch that triggered the event.
+        bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -224,6 +242,8 @@ impl TraceEvent {
             TraceEvent::Recover { .. } => "recover",
             TraceEvent::Degraded { .. } => "degraded",
             TraceEvent::JobPanic { .. } => "job-panic",
+            TraceEvent::Arena { .. } => "arena",
+            TraceEvent::Mmap { .. } => "mmap",
         }
     }
 
@@ -337,6 +357,9 @@ impl TraceEvent {
                 let _ = write!(out, "\"job\":{job},\"payload\":\"");
                 escape_into(payload, out);
                 out.push('"');
+            }
+            TraceEvent::Arena { action, bytes } | TraceEvent::Mmap { action, bytes } => {
+                let _ = write!(out, "\"action\":\"{action}\",\"bytes\":{bytes}");
             }
         }
     }

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Runs every cmocc invocation documented in README.md against the MLC
+# sources in examples/mlc/, so the docs cannot drift from the CLI.
+#
+# Usage: tools/check_docs.sh [path-to-cmocc]
+#
+# Builds target/release/cmocc when no binary is given. Exits non-zero
+# on the first invocation that fails or documented claim that does not
+# hold (warm-cache report replay, mmap on/off byte identity).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cmocc="${1:-}"
+if [[ -z "$cmocc" ]]; then
+    (cd "$repo_root" && cargo build --release -p cmo --quiet)
+    cmocc="$repo_root/target/release/cmocc"
+fi
+cmocc="$(cd "$(dirname "$cmocc")" && pwd)/$(basename "$cmocc")"
+[[ -x "$cmocc" ]] || { echo "check_docs: $cmocc is not executable" >&2; exit 1; }
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+cp "$repo_root"/examples/mlc/*.mlc "$work/"
+cd "$work"
+
+step=0
+run() {
+    step=$((step + 1))
+    echo "check_docs [$step]: cmocc $*"
+    "$cmocc" "$@"
+}
+
+# --- Quickstart: separate compilation, train, ship, parallel build ---
+run -c lib.mlc app.mlc
+[[ -f lib.cmo && -f app.cmo ]] || { echo "check_docs: -c did not emit .cmo objects" >&2; exit 1; }
+run +I --run 500 --profile-out train.db lib.cmo app.cmo
+[[ -f train.db ]] || { echo "check_docs: training did not write train.db" >&2; exit 1; }
+run +O4 +P train.db --report --run 500 lib.cmo app.cmo
+run -j4 +O4 --report --run 500 lib.cmo app.cmo
+
+# --- Structured telemetry: --report-json / --trace ---
+run +O4 +P train.db --report-json r.json --trace t.jsonl lib.cmo app.cmo
+grep -q '"cmo.report.v1"' r.json || { echo "check_docs: r.json missing cmo.report.v1 schema" >&2; exit 1; }
+grep -q '"cmo.trace.v1"' t.jsonl || { echo "check_docs: t.jsonl missing cmo.trace.v1 schema" >&2; exit 1; }
+
+# --- Incremental recompilation: --cache-dir cold then warm ---
+run +O4 --cache-dir .cmo-cache --report-json cold.json lib.mlc app.mlc
+run +O4 --cache-dir .cmo-cache --report-json warm.json lib.mlc app.mlc
+cmp cold.json warm.json || { echo "check_docs: warm cache report differs from cold" >&2; exit 1; }
+[[ -f .cmo-cache/repo.naim && -f .cmo-cache/manifest.tsv ]] \
+    || { echo "check_docs: cache dir missing repo.naim/manifest.tsv" >&2; exit 1; }
+
+# --- Zero-copy toggle: --no-mmap must not change the report ---
+run +O4 --cache-dir .cmo-cache-plain --no-mmap --report-json plain.json lib.mlc app.mlc
+cmp cold.json plain.json || { echo "check_docs: --no-mmap changed the report" >&2; exit 1; }
+
+# --- --no-cache conflicts with --cache-dir (usage error, exit 2) ---
+set +e
+"$cmocc" +O4 --no-cache --cache-dir .cmo-cache lib.mlc app.mlc 2>/dev/null
+rc=$?
+set -e
+[[ $rc -eq 2 ]] || { echo "check_docs: --no-cache with --cache-dir should exit 2, got $rc" >&2; exit 1; }
+
+echo "check_docs: all $step documented invocations behave as described"

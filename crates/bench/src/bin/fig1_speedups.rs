@@ -8,27 +8,43 @@
 //! same eleven-program table on the synthetic suite.
 //!
 //! Run with `cargo run --release -p cmo-bench --bin fig1_speedups`.
+//! Flags: `--smoke` (two SPEC programs plus a small Mcad1),
+//! `--json-out <path>` (write a `cmo.bench.v1` snapshot for
+//! `bench-diff`).
 
-use cmo_bench::{measure_standard_levels, write_csv};
+use cmo_bench::{bench_args, measure_standard_levels, write_csv, BenchReport, BenchRow};
 use cmo_synth::{generate, mcad_preset, spec_suite};
 
 fn main() {
+    let args = bench_args();
     println!("Figure 1: speedups relative to +O2 (Mcad3 relative to +O1)");
     println!(
         "{:<10} {:>9} {:>8} {:>8} {:>9} {:>10}",
         "program", "lines", "PBO", "CMO", "CMO+PBO", "baseline"
     );
     let mut rows = Vec::new();
+    let mut snapshot = BenchReport::new("fig1", args.smoke);
 
-    let mut suite: Vec<(cmo_synth::SynthSpec, f64, bool)> = spec_suite()
-        .into_iter()
-        .map(|s| (s, 100.0, false))
-        .collect();
+    let mut suite: Vec<(cmo_synth::SynthSpec, f64, bool)> = if args.smoke {
+        spec_suite()
+            .into_iter()
+            .take(2)
+            .map(|s| (s, 100.0, false))
+            .collect()
+    } else {
+        spec_suite()
+            .into_iter()
+            .map(|s| (s, 100.0, false))
+            .collect()
+    };
     // MCAD apps: selective CMO at the paper's operating point (~20 %
     // of call sites); Mcad3's baseline is +O1.
-    suite.push((mcad_preset("mcad1", 0.5), 20.0, false));
-    suite.push((mcad_preset("mcad2", 0.5), 20.0, false));
-    suite.push((mcad_preset("mcad3", 0.5), 20.0, true));
+    let mcad_scale = if args.smoke { 0.25 } else { 0.5 };
+    suite.push((mcad_preset("mcad1", mcad_scale), 20.0, false));
+    if !args.smoke {
+        suite.push((mcad_preset("mcad2", 0.5), 20.0, false));
+        suite.push((mcad_preset("mcad3", 0.5), 20.0, true));
+    }
 
     for (spec, sel, baseline_o1) in suite {
         let app = generate(&spec);
@@ -53,6 +69,22 @@ fn main() {
             s(&o4p),
             if baseline_o1 { "O1" } else { "O2" }
         ));
+        // The simulated cycle counts are deterministic: gate on them
+        // directly, and keep the derived speedups informational.
+        let mut row = BenchRow::new(app.name.clone());
+        row.int("lines", app.total_lines as u64)
+            .int("baseline_cycles", base)
+            .int("pbo_cycles", o2p.cycles)
+            .int("cmo_cycles", o4.cycles)
+            .int("cmo_pbo_cycles", o4p.cycles)
+            .int("cmo_pbo_compile_work", o4p.report.compile_work)
+            .float("speedup_pbo", s(&o2p))
+            .float("speedup_cmo", s(&o4))
+            .float("speedup_cmo_pbo", s(&o4p));
+        snapshot.rows.push(row);
+    }
+    if let Some(path) = &args.json_out {
+        snapshot.write(path);
     }
     write_csv(
         "fig1_speedups.csv",

@@ -10,13 +10,17 @@
 //! run time.
 //!
 //! Run with `cargo run --release -p cmo-bench --bin fig6_selectivity`.
+//! Flags: `--smoke` (smaller app, fewer sweep points), `--json-out
+//! <path>` (write a `cmo.bench.v1` snapshot for `bench-diff`).
 
 use cmo::{BuildOptions, OptLevel};
-use cmo_bench::{compiler_for, measure, train, write_csv};
+use cmo_bench::{bench_args, compiler_for, measure, train, write_csv, BenchReport, BenchRow};
 use cmo_synth::{generate, mcad_preset};
 
 fn main() {
-    let app = generate(&mcad_preset("mcad1", 0.75));
+    let args = bench_args();
+    let scale = if args.smoke { 0.25 } else { 0.75 };
+    let app = generate(&mcad_preset("mcad1", scale));
     let cc = compiler_for(&app);
     let db = train(&cc, &app).expect("train");
 
@@ -35,7 +39,13 @@ fn main() {
         "sel%", "cmo_loc", "loc%", "build ms", "work units", "run cycles", "speedup"
     );
     let mut rows = Vec::new();
-    for sel in [0.0, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0] {
+    let mut snapshot = BenchReport::new("fig6", args.smoke);
+    let sweep: &[f64] = if args.smoke {
+        &[0.0, 20.0, 100.0]
+    } else {
+        &[0.0, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0]
+    };
+    for &sel in sweep {
         let opts = BuildOptions::new(OptLevel::O4)
             .with_profile_db(db.clone())
             .with_selectivity(sel);
@@ -54,6 +64,16 @@ fn main() {
             "{},{},{:.2},{:.2},{},{},{:.4}",
             sel, m.report.cmo_loc, loc_pct, m.compile_ms, m.report.compile_work, m.cycles, speedup
         ));
+        let mut row = BenchRow::new(format!("sel-{sel:.0}"));
+        row.int("cmo_loc", m.report.cmo_loc as u64)
+            .int("compile_work", m.report.compile_work)
+            .int("run_cycles", m.cycles)
+            .float("wall_ms", m.compile_ms)
+            .float("speedup_vs_o2p", speedup);
+        snapshot.rows.push(row);
+    }
+    if let Some(path) = &args.json_out {
+        snapshot.write(path);
     }
     write_csv(
         "fig6_selectivity.csv",

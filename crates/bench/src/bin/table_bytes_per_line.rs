@@ -8,14 +8,17 @@
 //! and report our bytes/line alongside the paper's.
 //!
 //! Run with `cargo run --release -p cmo-bench --bin table_bytes_per_line`.
+//! Flags: `--smoke` (fewer modules), `--json-out <path>` (write a
+//! `cmo.bench.v1` snapshot for `bench-diff`).
 
 use cmo::{BuildOptions, NaimConfig, NaimLevel, OptLevel};
-use cmo_bench::{compiler_for, measure, train, write_csv};
+use cmo_bench::{bench_args, compiler_for, measure, train, write_csv, BenchReport, BenchRow};
 use cmo_synth::{generate, spec_preset};
 
 fn main() {
+    let args = bench_args();
     let mut spec = spec_preset("gcc");
-    spec.modules = 20;
+    spec.modules = if args.smoke { 8 } else { 20 };
     let app = generate(&spec);
     let cc = compiler_for(&app);
     let db = train(&cc, &app).expect("train");
@@ -46,6 +49,7 @@ fn main() {
         "era", "technique", "peak bytes", "B/line", "paper B/line"
     );
     let mut rows = Vec::new();
+    let mut snapshot = BenchReport::new("table_bytes_per_line", args.smoke);
     for (era, technique, paper, naim) in eras {
         let opts = BuildOptions::new(OptLevel::O4)
             .with_profile_db(db.clone())
@@ -66,6 +70,15 @@ fn main() {
         rows.push(format!(
             "{era},{technique},{peak},{per_line:.2},{paper_str}"
         ));
+        let mut row = BenchRow::new(technique.replace(' ', "-"));
+        row.int("peak_bytes", peak as u64)
+            .int("compile_work", m.report.compile_work)
+            .int("offload_writes", m.report.loader.offload_writes)
+            .float("bytes_per_line", per_line);
+        snapshot.rows.push(row);
+    }
+    if let Some(path) = &args.json_out {
+        snapshot.write(path);
     }
     write_csv(
         "table_bytes_per_line.csv",

@@ -29,6 +29,15 @@
 //!                      path; fetches copy through an arena buffer
 //!                      instead (reports are byte-identical either
 //!                      way; requires --cache-dir)
+//!   --gc-cache         mark-and-sweep compaction of the cache
+//!                      repository: live records are copied into a
+//!                      fresh generation and the old one is atomically
+//!                      swapped out (requires --cache-dir; with no
+//!                      input files, runs the compaction and exits)
+//!   --gc-threshold-bytes <N>
+//!                      auto-compact before a cached build whenever
+//!                      the repository carries more than N dead bytes
+//!                      (requires --cache-dir)
 //!   --keep-going       degraded mode: a failing module becomes a
 //!                      diagnostic, the remaining modules still build
 //!                      (and cache); the image links only if all
@@ -79,6 +88,8 @@ struct Cli {
     cache_dir: Option<PathBuf>,
     no_cache: bool,
     no_mmap: bool,
+    gc_cache: bool,
+    gc_threshold_bytes: Option<u64>,
     keep_going: bool,
     isolate: bool,
 }
@@ -101,7 +112,7 @@ fn usage() -> String {
     "usage: cmocc [-c] [+O1|+O2|+O4] [+P <db>] [+I] [--sel <pct>] [--budget <MiB>] \
      [-j <N>] [--shards <N>] [--run <v1,v2,..>] [--profile-out <f>] [--emit-asm] [--report] \
      [--report-json <f>] [--trace <f>] [--cache-dir <dir>] [--no-cache] [--no-mmap] \
-     [--keep-going] [--isolate] <files...>"
+     [--gc-cache] [--gc-threshold-bytes <N>] [--keep-going] [--isolate] <files...>"
         .to_owned()
 }
 
@@ -135,6 +146,34 @@ fn validate(cli: &Cli) -> Result<(), String> {
             "--no-mmap requires --cache-dir (it selects how the cache repository reads records)"
                 .to_owned(),
         );
+    }
+    if cli.gc_cache && cli.cache_dir.is_none() {
+        return Err(
+            "--gc-cache requires --cache-dir (it compacts that cache's repository)".to_owned(),
+        );
+    }
+    if cli.gc_threshold_bytes.is_some() && cli.cache_dir.is_none() {
+        return Err(
+            "--gc-threshold-bytes requires --cache-dir (it compacts that cache's repository)"
+                .to_owned(),
+        );
+    }
+    if cli.gc_cache && cli.inputs.is_empty() {
+        let conflicts: &[(&str, bool)] = &[
+            ("-c", cli.compile_only),
+            ("--run", cli.run.is_some()),
+            ("--emit-asm", cli.emit_asm),
+            ("--report", cli.report),
+            ("--report-json", cli.report_json.is_some()),
+            ("--isolate", cli.isolate),
+        ];
+        for (flag, given) in conflicts {
+            if *given {
+                return Err(format!(
+                    "{flag} conflicts with standalone --gc-cache: no build runs without input files"
+                ));
+            }
+        }
     }
     if cli.profile_out.is_some() && cli.run.is_none() {
         return Err("--profile-out requires --run (profiles come from executing main)".to_owned());
@@ -180,6 +219,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         cache_dir: None,
         no_cache: false,
         no_mmap: false,
+        gc_cache: false,
+        gc_threshold_bytes: None,
         keep_going: false,
         isolate: false,
     };
@@ -254,6 +295,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--cache-dir" => cli.cache_dir = Some(PathBuf::from(next("a directory")?)),
             "--no-cache" => cli.no_cache = true,
             "--no-mmap" => cli.no_mmap = true,
+            "--gc-cache" => cli.gc_cache = true,
+            "--gc-threshold-bytes" => {
+                cli.gc_threshold_bytes = Some(
+                    next("a size in bytes")?
+                        .parse()
+                        .map_err(|e| format!("bad --gc-threshold-bytes value: {e}"))?,
+                );
+            }
             "--keep-going" => cli.keep_going = true,
             "--isolate" => cli.isolate = true,
             "-h" | "--help" => return Err(usage()),
@@ -270,7 +319,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             file => cli.inputs.push(PathBuf::from(file)),
         }
     }
-    if cli.inputs.is_empty() {
+    if cli.inputs.is_empty() && !cli.gc_cache {
         return Err(format!("no input files\n{}", usage()));
     }
     validate(&cli)?;
@@ -600,6 +649,32 @@ fn run_cli(cli: &Cli) -> Result<u8, Failure> {
         }
         None => None,
     };
+    if cli.gc_cache {
+        let cache = bcache
+            .as_mut()
+            .expect("--gc-cache was validated to require --cache-dir");
+        let start = std::time::Instant::now();
+        let gc = cache
+            .gc(&tel)
+            .map_err(|e| format!("cache gc failed: {e}"))?;
+        // Wall time goes to stderr only: the trace and reports carry
+        // no timings, so cached replays stay byte-identical.
+        eprintln!(
+            "cmocc: gc reclaimed {} bytes, kept {} live records, pruned {} manifest lines ({} ms)",
+            gc.reclaimed_bytes,
+            gc.live_records,
+            gc.pruned_lines,
+            start.elapsed().as_millis()
+        );
+        if cli.inputs.is_empty() {
+            if let Some(path) = &cli.trace {
+                std::fs::write(path, tel.render_trace())
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                println!("wrote trace to {}", path.display());
+            }
+            return Ok(success_code(bcache.as_ref()));
+        }
+    }
     let mut faults = FaultStats::default();
     let (objects, fingerprints) = {
         let _parse = tel.phase("parse");
@@ -629,6 +704,9 @@ fn run_cli(cli: &Cli) -> Result<u8, Failure> {
     }
     let mut options = BuildOptions::new(cli.level).with_jobs(cli.jobs);
     options.telemetry = tel.clone();
+    if let Some(bytes) = cli.gc_threshold_bytes {
+        options = options.with_gc_threshold_bytes(bytes);
+    }
     options.instrument = cli.instrument;
     if let Some(path) = &cli.profile {
         let bytes =

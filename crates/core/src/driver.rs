@@ -135,6 +135,13 @@ pub struct BuildOptions {
     /// byte-identical at every job count: results are keyed by module
     /// or routine index and merged in index order.
     pub jobs: usize,
+    /// Auto-trigger for cache compaction (`cmocc
+    /// --gc-threshold-bytes N`): when a cache is attached and its
+    /// repository carries more than this many dead bytes, the build
+    /// runs a mark-and-sweep compaction before probing. `None` (the
+    /// default) never compacts. Excluded from the options signature —
+    /// when the GC policy changed, the outputs did not.
+    pub gc_threshold_bytes: Option<u64>,
     /// Telemetry sink threaded through the whole pipeline (loader,
     /// HLO, selection, final link). Disabled (no-op) by default;
     /// enable it to collect phase timers and trace events for the
@@ -156,6 +163,7 @@ impl BuildOptions {
             inline: InlineOptions::default(),
             layered: false,
             jobs: 1,
+            gc_threshold_bytes: None,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -216,6 +224,14 @@ impl BuildOptions {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Compacts an attached cache before the build whenever its
+    /// repository carries more than `bytes` dead bytes.
+    #[must_use]
+    pub fn with_gc_threshold_bytes(mut self, bytes: u64) -> Self {
+        self.gc_threshold_bytes = Some(bytes);
         self
     }
 }
@@ -816,6 +832,24 @@ pub fn build_objects_cached(
         return build_objects(objects, options);
     };
     let tel = options.telemetry.clone();
+    // Opportunistic compaction: when the caller set a dead-byte
+    // threshold and the repository has crossed it, compact before the
+    // probes. Like persistence, GC failures degrade rather than fail —
+    // a build that compiles correctly must not die over cache hygiene.
+    if let Some(threshold) = options.gc_threshold_bytes {
+        let outcome = match bcache.dead_bytes() {
+            Ok(dead) if dead > threshold => bcache.gc(&tel).map(|_| ()),
+            Ok(_) => Ok(()),
+            Err(e) => Err(e),
+        };
+        if let Err(e) = outcome {
+            tel.emit(TraceEvent::Degraded {
+                component: "cache",
+                name: "gc".to_owned(),
+                error: e.to_string(),
+            });
+        }
+    }
     debug_assert_eq!(
         module_fps.len(),
         objects.len(),

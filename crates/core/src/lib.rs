@@ -58,7 +58,7 @@ mod report;
 
 pub use cache::{
     build_key, module_fingerprint, object_fingerprint, options_signature, BuildCache, CacheEntry,
-    CacheStats, CACHE_FORMAT,
+    CacheStats, GcStats, CACHE_FORMAT,
 };
 pub use driver::{
     build_objects, build_objects_cached, BuildError, BuildOptions, BuildOutput, BuildReport,

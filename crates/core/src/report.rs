@@ -192,6 +192,12 @@ impl CompileReport {
         w.field_u64("module_misses", self.cache.module_misses);
         w.field_u64("build_hits", self.cache.build_hits);
         w.field_u64("invalidations", self.cache.invalidations);
+        w.begin_obj(Some("gc"));
+        w.field_u64("runs", self.cache.gc_runs);
+        w.field_u64("reclaimed_bytes", self.cache.gc_reclaimed_bytes);
+        w.field_u64("live_records", self.cache.gc_live_records);
+        w.field_u64("pruned_lines", self.cache.gc_pruned_lines);
+        w.end_obj();
         w.end_obj();
 
         w.begin_obj(Some("faults"));
@@ -260,6 +266,10 @@ impl CompileReport {
         enc.write_u64(self.cache.module_misses);
         enc.write_u64(self.cache.build_hits);
         enc.write_u64(self.cache.invalidations);
+        enc.write_u64(self.cache.gc_runs);
+        enc.write_u64(self.cache.gc_reclaimed_bytes);
+        enc.write_u64(self.cache.gc_live_records);
+        enc.write_u64(self.cache.gc_pruned_lines);
         enc.write_u64(self.faults.job_panics);
         enc.write_usize(self.faults.degraded.len());
         for module in &self.faults.degraded {
@@ -324,6 +334,10 @@ impl CompileReport {
             module_misses: dec.read_u64()?,
             build_hits: dec.read_u64()?,
             invalidations: dec.read_u64()?,
+            gc_runs: dec.read_u64()?,
+            gc_reclaimed_bytes: dec.read_u64()?,
+            gc_live_records: dec.read_u64()?,
+            gc_pruned_lines: dec.read_u64()?,
         };
         let job_panics = dec.read_u64()?;
         let n_degraded = dec.read_usize()?;
@@ -421,6 +435,7 @@ mod tests {
             "\"image\"",
             "\"work\"",
             "\"cache\"",
+            "\"gc\"",
             "\"faults\"",
             "\"phases\"",
         ] {
@@ -443,6 +458,10 @@ mod tests {
             module_misses: 1,
             build_hits: 1,
             invalidations: 2,
+            gc_runs: 1,
+            gc_reclaimed_bytes: 4096,
+            gc_live_records: 5,
+            gc_pruned_lines: 2,
         };
         r.faults = FaultStats {
             job_panics: 1,

@@ -181,6 +181,107 @@ fn kill_point_sweep_recovers_at_every_io_op() {
     );
 }
 
+/// GC crash-safety: compaction killed at *every* storage I/O operation
+/// must leave `repo.naim` byte-identical to either the pre-GC or the
+/// post-GC generation — never a mix of the two — and a reopened cache
+/// must still replay the reference build at every `-j` level.
+#[test]
+fn gc_kill_point_sweep_leaves_old_or_new_generation_never_a_mix() {
+    const REPO: &str = "repo.naim";
+
+    // A committed cache with plenty of dead bytes: the v1 build's util
+    // record dies when v2 supersedes it, and every extra build appends
+    // another stale index segment.
+    let base = Arc::new(MemStorage::new());
+    cached_build(Arc::clone(&base) as Arc<dyn Storage>, UTIL_V1, 1);
+    cached_build(Arc::clone(&base) as Arc<dyn Storage>, UTIL_V2, 1);
+    cached_build(Arc::clone(&base) as Arc<dyn Storage>, UTIL_V2, 1);
+    let pre_bytes = base.read(REPO).unwrap();
+
+    // Reference warm output on the uncompacted cache.
+    let (ref_code, ref_report, _, _) =
+        cached_build(Arc::new(base.snapshot()) as Arc<dyn Storage>, UTIL_V2, 1);
+    let ref_masked = mask_cache(&ref_report);
+
+    // The post-GC generation: a clean, uninterrupted compaction.
+    let post = Arc::new(base.snapshot());
+    {
+        let tel = Telemetry::disabled();
+        let mut bcache = BuildCache::open_on(Arc::clone(&post) as Arc<dyn Storage>, &tel).unwrap();
+        let stats = bcache.gc(&tel).unwrap();
+        assert!(stats.reclaimed_bytes > 0, "setup produced no dead bytes");
+    }
+    let post_bytes = post.read(REPO).unwrap();
+    assert_ne!(pre_bytes, post_bytes, "gc was a no-op");
+
+    // Probe: count the storage ops of open + gc.
+    let probe = Arc::new(FaultyStorage::new(
+        Arc::new(base.snapshot()) as Arc<dyn Storage>
+    ));
+    {
+        let tel = Telemetry::disabled();
+        let mut bcache = BuildCache::open_on(Arc::clone(&probe) as Arc<dyn Storage>, &tel).unwrap();
+        bcache.gc(&tel).unwrap();
+    }
+    let total_ops = probe.ops();
+    assert!(total_ops > 10, "suspiciously few storage ops: {total_ops}");
+
+    let (mut pre_survivals, mut post_survivals) = (0u64, 0u64);
+    for k in 0..total_ops {
+        let inner = Arc::new(base.snapshot());
+        let faulty =
+            Arc::new(FaultyStorage::new(Arc::clone(&inner) as Arc<dyn Storage>).kill_at(k));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let tel = Telemetry::disabled();
+            let Ok(mut bcache) = BuildCache::open_on(Arc::clone(&faulty) as Arc<dyn Storage>, &tel)
+            else {
+                return; // the kill landed inside open: acceptable
+            };
+            let _ = bcache.gc(&tel);
+        }));
+        assert!(outcome.is_ok(), "gc panicked at kill point {k}");
+        assert!(faulty.crashed(), "kill point {k} never fired");
+
+        // Atomicity: the surviving repository is one generation or the
+        // other, byte for byte.
+        let crashed_bytes = inner.read(REPO).unwrap();
+        if crashed_bytes == pre_bytes {
+            pre_survivals += 1;
+        } else if crashed_bytes == post_bytes {
+            post_survivals += 1;
+        } else {
+            panic!("kill {k}: repo.naim is a mix of generations");
+        }
+
+        // Recovery: a reopened cache replays the reference build at
+        // every -j level, identically across levels.
+        let mut per_jobs = Vec::new();
+        for jobs in jobs_levels() {
+            let state = Arc::new(inner.snapshot()) as Arc<dyn Storage>;
+            let (code, report, trace, _) = cached_build(state, UTIL_V2, jobs);
+            assert_eq!(code, ref_code, "kill {k} -j{jobs}: image diverged");
+            assert_eq!(
+                mask_cache(&report),
+                ref_masked,
+                "kill {k} -j{jobs}: report diverged"
+            );
+            per_jobs.push((jobs, code, report, trace));
+        }
+        let (_, code1, report1, trace1) = &per_jobs[0];
+        for (jobs, code, report, trace) in &per_jobs[1..] {
+            assert_eq!(code1, code, "kill {k}: image differs at -j{jobs}");
+            assert_eq!(report1, report, "kill {k}: report differs at -j{jobs}");
+            assert_eq!(trace1, trace, "kill {k}: trace differs at -j{jobs}");
+        }
+    }
+    // The sweep must land on both sides of the atomic swap, or it is
+    // not exercising the interesting window.
+    assert!(
+        pre_survivals > 0 && post_survivals > 0,
+        "sweep never crossed the swap: {pre_survivals} pre, {post_survivals} post"
+    );
+}
+
 // ---------------------------------------------------------------- CLI
 
 fn cmocc() -> Command {

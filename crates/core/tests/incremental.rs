@@ -274,3 +274,157 @@ fn api_level_cached_build_replays_and_counts_hits() {
 
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn gc_cache_compacts_the_repository_and_keeps_warm_replay_byte_identical() {
+    let dir = workdir("gccli");
+    write_sources(&dir);
+    let cache = dir.join("cache");
+
+    let (cold_out, cold_json, _) = build(&dir, &cache, "1", "cold");
+    // Each warm rebuild persists a fresh index segment, so the dead
+    // share of the repository climbs well past 50%.
+    for i in 0..20 {
+        build(&dir, &cache, "1", &format!("bloat{i}"));
+    }
+    let repo = cache.join("repo.naim");
+    let size_bloated = std::fs::metadata(&repo).unwrap().len();
+
+    // Standalone compaction: no input files, just --gc-cache.
+    let trace_path = dir.join("gc.trace");
+    let out = cmocc()
+        .args(["--gc-cache", "--cache-dir"])
+        .arg(&cache)
+        .arg("--trace")
+        .arg(&trace_path)
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(
+        stderr.contains("gc reclaimed") && stderr.contains("ms)"),
+        "missing gc summary on stderr: {stderr}"
+    );
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(
+        trace.contains(r#""event":"cache","action":"gc""#),
+        "no gc event in trace: {trace}"
+    );
+    let size_compacted = std::fs::metadata(&repo).unwrap().len();
+    assert!(
+        size_compacted * 2 <= size_bloated,
+        "gc reclaimed less than half of the bloated repository: \
+         {size_bloated} -> {size_compacted}"
+    );
+
+    // The compacted cache replays the cold build byte for byte.
+    let (warm_out, warm_json, warm_trace) = build(&dir, &cache, "4", "warm");
+    assert_eq!(stable_output(&cold_out), stable_output(&warm_out));
+    assert_eq!(cold_json, warm_json);
+    assert!(warm_trace.contains(r#""action":"replay","scope":"build""#));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn gc_flags_validate_their_dependencies() {
+    let dir = workdir("gcflags");
+    let (util, _) = write_sources(&dir);
+
+    // --gc-cache needs a cache to compact.
+    let out = cmocc().arg("--gc-cache").arg(&util).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--gc-cache requires --cache-dir"));
+
+    // So does --gc-threshold-bytes.
+    let out = cmocc()
+        .args(["--gc-threshold-bytes", "4096"])
+        .arg(&util)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--gc-threshold-bytes requires --cache-dir")
+    );
+
+    // Standalone --gc-cache runs no build: build-output flags conflict.
+    let out = cmocc()
+        .args(["--gc-cache", "--cache-dir"])
+        .arg(dir.join("cache"))
+        .args(["--run", "-"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("conflicts with standalone --gc-cache"));
+
+    // Without --gc-cache, an empty input list is still an error.
+    let out = cmocc()
+        .arg("--cache-dir")
+        .arg(dir.join("cache"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no input files"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn gc_threshold_compacts_during_cached_build_without_changing_output() {
+    let dir = workdir("gcauto");
+    let cache_dir = dir.join("cache");
+    let modules = vec![
+        ("util".to_owned(), UTIL.to_owned()),
+        ("app".to_owned(), APP.to_owned()),
+    ];
+    let options = BuildOptions::new(OptLevel::O4);
+
+    let run = |options: &BuildOptions| {
+        let mut cache = BuildCache::open(&cache_dir).unwrap();
+        let mut cc = Compiler::new();
+        cc.add_sources_cached(&modules, 1, &mut cache, &Telemetry::disabled())
+            .unwrap();
+        cc.build_cached(options, &mut cache).unwrap()
+    };
+    let cold = run(&options);
+    // Every cached build persists a fresh index segment, orphaning the
+    // previous one: warm rebuilds steadily grow the dead-byte share.
+    for _ in 0..20 {
+        run(&options);
+    }
+    let repo = cache_dir.join("repo.naim");
+    let size_bloated = std::fs::metadata(&repo).unwrap().len();
+
+    // A threshold of 0 means "compact whenever any byte is dead".
+    let tel = Telemetry::enabled();
+    let gc_options = BuildOptions::new(OptLevel::O4)
+        .with_gc_threshold_bytes(0)
+        .with_telemetry(tel.clone());
+    let compacted = run(&gc_options);
+    let trace = tel.render_trace();
+    assert!(
+        trace.contains(r#""event":"cache","action":"gc""#),
+        "no gc event in trace: {trace}"
+    );
+    assert!(
+        trace.contains(r#""action":"replay","scope":"build""#),
+        "the gc run should still replay the cold build: {trace}"
+    );
+    let size_compacted = std::fs::metadata(&repo).unwrap().len();
+    assert!(
+        size_compacted < size_bloated,
+        "gc did not shrink the repository: {size_bloated} -> {size_compacted}"
+    );
+
+    // The compacted cache still replays byte-for-byte, during the gc
+    // run itself and on the next plain warm build.
+    assert_eq!(compacted.image.to_bytes(), cold.image.to_bytes());
+    assert_eq!(
+        compacted.compile_report().to_json(),
+        cold.compile_report().to_json()
+    );
+    let warm = run(&options);
+    assert_eq!(warm.image.to_bytes(), cold.image.to_bytes());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -858,6 +858,40 @@ impl<B: RepoBackend> Repository<B> {
         self.records.len()
     }
 
+    /// Exact byte size a freshly-compacted generation holding only the
+    /// records behind `live` would occupy: header, one record per
+    /// distinct content hash (in first-seen order, matching store-time
+    /// dedup), a single index segment, and the footer. The build
+    /// cache's garbage collector subtracts this from the current file
+    /// size to compute dead bytes, so the number must account for the
+    /// varint index encoding rather than approximate it.
+    ///
+    /// Handles whose id is out of range are skipped; callers resolve
+    /// handles from a manifest that may reference dropped records.
+    #[must_use]
+    pub fn compacted_size(&self, live: &[RepoHandle]) -> u64 {
+        let mut metas: Vec<RecordMeta> = Vec::with_capacity(live.len());
+        let mut seen: HashMap<ContentHash, ()> = HashMap::with_capacity(live.len());
+        let mut offset = HEADER_LEN;
+        for handle in live {
+            let Some(meta) = self.records.get(handle.id as usize) else {
+                continue;
+            };
+            if seen.insert(meta.hash, ()).is_some() {
+                continue;
+            }
+            metas.push(RecordMeta {
+                payload_offset: offset + RECORD_HEADER_LEN,
+                len: meta.len,
+                crc: meta.crc,
+                hash: meta.hash,
+            });
+            offset += RECORD_HEADER_LEN + u64::from(meta.len);
+        }
+        let index = encode_index(&metas);
+        offset + RECORD_HEADER_LEN + index.len() as u64 + FOOTER_LEN
+    }
+
     /// Appends an index segment plus footer so the next
     /// [`Repository::open`] can rebuild the record index without
     /// scanning. Safe to call repeatedly; the footer at end-of-file
@@ -1028,6 +1062,39 @@ mod tests {
         assert_eq!(repo.stats().writes, 1);
         assert_eq!(repo.stats().dedup_hits, 1);
         assert_eq!(repo.fetch(h2).unwrap(), b"same bytes");
+    }
+
+    #[test]
+    fn compacted_size_matches_a_real_fresh_generation() {
+        let dir = temp_dir("compacted-size");
+        let mut repo = Repository::create(dir.join("old.bin")).unwrap();
+        let a = repo.store(b"alpha payload").unwrap();
+        let b = repo.store(&[0xAB; 300]).unwrap();
+        let c = repo.store(&[]).unwrap();
+        // Stale index segments are the dead weight GC reclaims.
+        repo.flush_index().unwrap();
+        repo.flush_index().unwrap();
+        repo.flush_index().unwrap();
+        // Live set: duplicates and out-of-range ids must not count.
+        let bogus = RepoHandle { id: 999, len: 1 };
+        let live = [a, c, a, bogus];
+        let predicted = repo.compacted_size(&live);
+
+        // Build the generation compacted_size claims to predict.
+        let mut fresh = Repository::create(dir.join("new.bin")).unwrap();
+        for h in [a, c, a] {
+            let bytes = repo.fetch(h).unwrap();
+            fresh.store(&bytes).unwrap();
+        }
+        fresh.flush_index().unwrap();
+        drop(fresh);
+        let actual = std::fs::metadata(dir.join("new.bin")).unwrap().len();
+        assert_eq!(predicted, actual);
+        // Dropping `b` and the stale segments must actually shrink.
+        let _ = b;
+        let old = std::fs::metadata(dir.join("old.bin")).unwrap().len();
+        assert!(predicted < old, "no dead bytes: {predicted} vs {old}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

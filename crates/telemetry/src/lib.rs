@@ -163,6 +163,19 @@ pub enum TraceEvent {
         /// Payload bytes moved for hits/stores; 0 otherwise.
         bytes: u64,
     },
+    /// A mark-and-sweep compaction of the incremental-build cache
+    /// repository (`cmocc --gc-cache` or the `--gc-threshold-bytes`
+    /// auto-trigger). Wall time deliberately stays out of the trace —
+    /// traces are byte-identical across runs and `-j` levels — and is
+    /// reported on stderr instead.
+    CacheGc {
+        /// Bytes reclaimed by the generation swap (old size − new size).
+        reclaimed_bytes: u64,
+        /// Live records copied into the new generation.
+        live_records: u64,
+        /// Dangling manifest lines pruned by the same atomic rewrite.
+        pruned_lines: u64,
+    },
     /// A module was placed in or out of the CMO set by selectivity.
     SelectModule {
         /// Module name.
@@ -238,7 +251,7 @@ impl TraceEvent {
             TraceEvent::DeadRoutine { .. } => "dead_routine",
             TraceEvent::SelectSite { .. } => "select_site",
             TraceEvent::SelectModule { .. } => "select_module",
-            TraceEvent::Cache { .. } => "cache",
+            TraceEvent::Cache { .. } | TraceEvent::CacheGc { .. } => "cache",
             TraceEvent::Recover { .. } => "recover",
             TraceEvent::Degraded { .. } => "degraded",
             TraceEvent::JobPanic { .. } => "job-panic",
@@ -331,6 +344,16 @@ impl TraceEvent {
                 );
                 escape_into(name, out);
                 let _ = write!(out, "\",\"bytes\":{bytes}");
+            }
+            TraceEvent::CacheGc {
+                reclaimed_bytes,
+                live_records,
+                pruned_lines,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"action\":\"gc\",\"reclaimed_bytes\":{reclaimed_bytes},\"live_records\":{live_records},\"pruned_lines\":{pruned_lines}"
+                );
             }
             TraceEvent::Recover {
                 component,
@@ -775,6 +798,26 @@ mod tests {
         assert!(ev.contains("\"scope\":\"module\""), "{ev}");
         assert!(ev.contains("\"name\":\"alpha\\\"x\""), "{ev}");
         assert!(ev.contains("\"bytes\":512"), "{ev}");
+    }
+
+    #[test]
+    fn cache_gc_event_serializes_all_fields() {
+        let t = Telemetry::enabled();
+        t.emit(TraceEvent::CacheGc {
+            reclaimed_bytes: 4096,
+            live_records: 7,
+            pruned_lines: 2,
+        });
+        let trace = t.render_trace();
+        let ev = trace.lines().nth(1).unwrap();
+        assert!(ev.contains("\"event\":\"cache\""), "{ev}");
+        assert!(ev.contains("\"action\":\"gc\""), "{ev}");
+        assert!(ev.contains("\"reclaimed_bytes\":4096"), "{ev}");
+        assert!(ev.contains("\"live_records\":7"), "{ev}");
+        assert!(ev.contains("\"pruned_lines\":2"), "{ev}");
+        // GC is traced without wall time, like everything else.
+        assert!(!trace.contains("wall"), "{trace}");
+        assert!(!trace.contains("nanos"), "{trace}");
     }
 
     #[test]

@@ -54,6 +54,15 @@ cmp cold.json warm.json || { echo "check_docs: warm cache report differs from co
 run +O4 --cache-dir .cmo-cache-plain --no-mmap --report-json plain.json lib.mlc app.mlc
 cmp cold.json plain.json || { echo "check_docs: --no-mmap changed the report" >&2; exit 1; }
 
+# --- Cache compaction: --gc-cache shrinks repo.naim, replay intact ---
+before=$(wc -c < .cmo-cache/repo.naim)
+run --gc-cache --cache-dir .cmo-cache
+after=$(wc -c < .cmo-cache/repo.naim)
+[[ $after -lt $before ]] \
+    || { echo "check_docs: --gc-cache did not shrink repo.naim ($before -> $after)" >&2; exit 1; }
+run +O4 --cache-dir .cmo-cache --report-json gc-warm.json lib.mlc app.mlc
+cmp cold.json gc-warm.json || { echo "check_docs: post-gc warm report differs from cold" >&2; exit 1; }
+
 # --- --no-cache conflicts with --cache-dir (usage error, exit 2) ---
 set +e
 "$cmocc" +O4 --no-cache --cache-dir .cmo-cache lib.mlc app.mlc 2>/dev/null

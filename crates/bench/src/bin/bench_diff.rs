@@ -18,9 +18,14 @@ use cmo_bench::{parse_json, Json};
 use std::process::ExitCode;
 
 /// Metrics that are machine-dependent (wall-clock, ratios of it) or
-/// higher-is-better percentages — reported but never gated.
+/// higher-is-better percentages — reported but never gated. The
+/// `_nanos` keys are the per-phase wall-clock readings (for example
+/// `hlo_wall_nanos_j4` from the parallel HLO fan-out).
 fn informational(key: &str) -> bool {
-    key.starts_with("wall_") || key.starts_with("speedup") || key.ends_with("_pct")
+    key.starts_with("wall_")
+        || key.starts_with("speedup")
+        || key.ends_with("_pct")
+        || key.contains("_nanos")
 }
 
 fn load(path: &str) -> Result<Json, String> {

@@ -50,6 +50,7 @@ fn main() {
         // report (and so every memory column) is identical across -j.
         let sweep = measure_at_jobs(&cc, &app, &opts, &[1, 4]).expect("naim build");
         let (ms_j1, ms_j4) = (sweep[0].1.compile_ms, sweep[1].1.compile_ms);
+        let (hlo_j1, hlo_j4) = (sweep[0].1.hlo_wall_nanos, sweep[1].1.hlo_wall_nanos);
         let with_naim = &sweep[0].1;
         let off = BuildOptions::new(OptLevel::O4)
             .with_profile_db(db)
@@ -96,7 +97,9 @@ fn main() {
             .int("fetch_work_units", with_naim.report.loader.fetch_work_units)
             .int("offload_writes", with_naim.report.loader.offload_writes)
             .float("wall_ms_j1", ms_j1)
-            .float("wall_ms_j4", ms_j4);
+            .float("wall_ms_j4", ms_j4)
+            .float("hlo_wall_nanos_j1", hlo_j1 as f64)
+            .float("hlo_wall_nanos_j4", hlo_j4 as f64);
         snapshot.rows.push(row);
     }
     if let Some(path) = &args.json_out {

@@ -82,6 +82,7 @@ fn main() {
         // table's two ms columns are the only thing -j may change.
         let sweep = measure_at_jobs(&cc, &app, &opts, &[1, 4]).expect("build");
         let (ms_j1, ms_j4) = (sweep[0].1.compile_ms, sweep[1].1.compile_ms);
+        let (hlo_j1, hlo_j4) = (sweep[0].1.hlo_wall_nanos, sweep[1].1.hlo_wall_nanos);
         let m = &sweep[0].1;
         let report = &m.report;
         println!(
@@ -117,7 +118,9 @@ fn main() {
             .int("uncompactions", report.loader.uncompactions)
             .int("offload_writes", report.loader.offload_writes)
             .float("wall_ms_j1", ms_j1)
-            .float("wall_ms_j4", ms_j4);
+            .float("wall_ms_j4", ms_j4)
+            .float("hlo_wall_nanos_j1", hlo_j1 as f64)
+            .float("hlo_wall_nanos_j4", hlo_j4 as f64);
         if name == "offload" {
             // The zero-copy fetch path charges fetch_cost_per_byte for
             // every rehydrated byte; the legacy path charged the full

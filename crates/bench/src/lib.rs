@@ -9,7 +9,9 @@
 //! factors, crossovers — are the reproduction target. See
 //! EXPERIMENTS.md for the paper-vs-measured record.
 
-use cmo::{BuildError, BuildOptions, BuildOutput, CompileReport, Compiler, OptLevel, ProfileDb};
+use cmo::{
+    BuildError, BuildOptions, BuildOutput, CompileReport, Compiler, OptLevel, ProfileDb, Telemetry,
+};
 use cmo_synth::SynthApp;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -33,6 +35,10 @@ pub struct Measured {
     pub checksum: u64,
     /// Wall-clock build time in milliseconds.
     pub compile_ms: f64,
+    /// Wall-clock nanoseconds spent inside the `hlo` phase, read from
+    /// the build's telemetry phase records. Zero when the build ran
+    /// with telemetry disabled (phase timing needs an enabled sink).
+    pub hlo_wall_nanos: u64,
 }
 
 /// Loads every module of `app` into a fresh driver.
@@ -73,6 +79,12 @@ pub fn measure(
     let t0 = Instant::now();
     let output = cc.build(options)?;
     let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let hlo_wall_nanos = options
+        .telemetry
+        .phases()
+        .iter()
+        .find(|p| p.name == "hlo")
+        .map_or(0, |p| p.wall_nanos);
     let r = output.run(&app.ref_input)?;
     let report = output.compile_report();
     Ok(Measured {
@@ -81,6 +93,7 @@ pub fn measure(
         cycles: r.cycles,
         checksum: r.checksum,
         compile_ms,
+        hlo_wall_nanos,
     })
 }
 
@@ -108,7 +121,12 @@ pub fn measure_at_jobs(
 ) -> Result<Vec<(usize, Measured)>, BuildError> {
     let mut rows: Vec<(usize, Measured)> = Vec::with_capacity(jobs.len());
     for &j in jobs {
-        let m = measure(cc, app, &options.clone().with_jobs(j))?;
+        // Fresh telemetry per build: phase records must cover exactly
+        // this build (a shared sink would accumulate phases across the
+        // sweep), and `hlo_wall_nanos` needs an enabled sink.
+        let mut o = options.clone().with_jobs(j);
+        o.telemetry = Telemetry::enabled();
+        let m = measure(cc, app, &o)?;
         if let Some((j0, first)) = rows.first() {
             assert_eq!(
                 first.checksum, m.checksum,

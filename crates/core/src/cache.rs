@@ -66,7 +66,8 @@ use crate::report::CompileReport;
 /// encoding, or the manifest layout change, so stale caches from
 /// earlier compiler builds miss cleanly instead of decoding garbage.
 /// (4: the report codec gained the `cache.gc` counters.)
-pub const CACHE_FORMAT: u32 = 4;
+/// (5: the report codec gained the `hlo.clusters` partition counters.)
+pub const CACHE_FORMAT: u32 = 5;
 
 /// First line of `manifest.tsv`.
 const MANIFEST_SCHEMA: &str = "cmo.cache.v1";

@@ -6,7 +6,8 @@ use crate::parallel::run_jobs;
 use crate::report::{CompileReport, FaultStats};
 use cmo_frontend::FrontendError;
 use cmo_hlo::{
-    fold_globals, inline_pass, CallGraph, GlobalFacts, HloSession, HloStats, InlineOptions,
+    fold_globals, merge_outcomes, plan_clusters, run_cluster, run_clusters_seq, CallGraph,
+    GlobalFacts, HloSession, HloStats, InlineOptions, PartitionStats,
 };
 use cmo_ir::{link_objects, IlObject, LinkError, Program, RoutineBody, RoutineId};
 use cmo_link::{assemble, CallArc, LinkOptions};
@@ -249,6 +250,9 @@ pub struct BuildReport {
     pub total_loc: u64,
     /// HLO transformation counters.
     pub hlo: HloStats,
+    /// Cluster partition counters from the parallel HLO fan-out
+    /// (zeros below `+O4`).
+    pub clusters: PartitionStats,
     /// NAIM loader counters.
     pub loader: LoaderStats,
     /// Peak optimizer memory (Figures 4/5).
@@ -619,28 +623,65 @@ pub fn build_objects(
                 // code growth, time, and memory.
                 inline_opts.small_callee_il = inline_opts.small_callee_il.max(80);
             }
-            let inline_work = {
-                let _p = tel.phase("inline");
-                let inline_stats = inline_pass(&mut session, &inline_opts)?;
-                let work = inline_stats.inlines * 200 + inline_stats.considered;
-                tel.work(work);
-                work
-            };
-            report.compile_work += inline_work;
+            // Cloning (when profiles justify the code growth) runs in
+            // the same per-cluster fan-out, after each cluster's
+            // inlining.
+            let clone_opts = db.is_some().then(|| cmo_hlo::CloneOptions {
+                min_callee_il: inline_opts.hot_callee_il,
+                targets: inline_opts.targets.clone(),
+                ..cmo_hlo::CloneOptions::default()
+            });
 
-            // Cloning: specialize hot constant-argument callees too big to
-            // inline (§3). Profiles justify the code growth.
-            if db.is_some() {
-                let _p = tel.phase("clone");
-                let clone_opts = cmo_hlo::CloneOptions {
-                    min_callee_il: inline_opts.hot_callee_il,
-                    targets: inline_opts.targets.clone(),
-                    ..cmo_hlo::CloneOptions::default()
+            // WHOPR-style cluster partition: condense the call graph
+            // into independent clusters and extract their inputs.
+            let plan = {
+                let _p = tel.phase("partition");
+                plan_clusters(&mut session, Some(&inline_opts), clone_opts.as_ref())?
+            };
+            report.clusters = plan.stats();
+
+            // Inline + clone, cluster by cluster. Clusters share no
+            // mutable state, so they fan out over the worker pool —
+            // except under an op limit, whose single global sequential
+            // counter (§6.3 bisection) forces the sequential path. The
+            // merge is keyed on cluster index, never completion order,
+            // so stats, report, and trace are byte-identical at any -j.
+            {
+                let _p = tel.phase("inline");
+                let config = session.loader_config();
+                let workers = options.jobs.max(1);
+                let outcomes = if inline_opts.op_limit.is_some() || workers <= 1 {
+                    run_clusters_seq(
+                        &session.program,
+                        &plan,
+                        &config,
+                        Some(&inline_opts),
+                        clone_opts.as_ref(),
+                        &tel,
+                    )?
+                } else {
+                    let program = &session.program;
+                    let results = run_jobs(plan.inputs().len(), workers, |_, i| {
+                        run_cluster(
+                            program,
+                            &plan,
+                            i,
+                            &config,
+                            Some(&inline_opts),
+                            clone_opts.as_ref(),
+                            None,
+                            &tel,
+                        )
+                    });
+                    let mut outcomes = Vec::with_capacity(results.len());
+                    for r in results {
+                        outcomes.push(r?);
+                    }
+                    outcomes
                 };
-                let clone_stats = cmo_hlo::clone_pass(&mut session, &clone_opts)?;
-                let work = clone_stats.clones * 150;
-                tel.work(work);
-                report.compile_work += work;
+                let (inline_stats, clone_stats) = merge_outcomes(&mut session, &plan, outcomes)?;
+                report.compile_work +=
+                    inline_stats.inlines * 200 + inline_stats.considered + clone_stats.clones * 150;
             }
 
             // Post-inline call graph: dead-routine detection and cluster
@@ -869,6 +910,7 @@ pub fn build_objects_cached(
             cmo_loc: stored.cmo_loc,
             total_loc: stored.total_loc,
             hlo: stored.hlo,
+            clusters: stored.clusters,
             loader: stored.loader,
             peak_memory: stored.memory,
             llo_peak_bytes: stored.llo_peak_bytes,

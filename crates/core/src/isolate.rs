@@ -97,6 +97,12 @@ pub fn isolate_inline_ops(
 ) -> Result<InlineIsolation, BuildError> {
     let mut search = options.clone();
     search.telemetry = Telemetry::disabled();
+    // Pin the search to one worker. An operation limit forces the
+    // cluster fan-out sequential anyway, but the *unlimited* build that
+    // counts `total_ops` has no limit — pinning keeps every build in
+    // the search on the same sequential operation numbering the limit
+    // binary-searches over, whatever `-j` the caller compiled with.
+    search.jobs = 1;
     let limited = |limit: u64| {
         search.clone().with_inline(InlineOptions {
             op_limit: Some(limit),
@@ -209,5 +215,27 @@ mod tests {
         let isolation = isolate_inline_ops(&cc, &BuildOptions::new(OptLevel::O4), &[]).unwrap();
         assert_eq!(isolation.report.first_faulty_op, None);
         assert!(isolation.total_ops > 0, "expected some inline ops");
+    }
+
+    /// Isolation pins its search builds to one worker, so the caller's
+    /// `-j` must not change the outcome: same op count, same verdict,
+    /// same checksum at `-j4` as at `-j1`.
+    #[test]
+    fn isolation_is_identical_at_any_worker_count() {
+        let mut cc = Compiler::new();
+        cc.add_source(
+            "m",
+            r#"
+            static fn a(x: int) -> int { return x + 1; }
+            static fn b(x: int) -> int { return a(x) * 2; }
+            fn main() -> int { return a(3) + b(4); }
+            "#,
+        )
+        .unwrap();
+        let j1 =
+            isolate_inline_ops(&cc, &BuildOptions::new(OptLevel::O4).with_jobs(1), &[]).unwrap();
+        let j4 =
+            isolate_inline_ops(&cc, &BuildOptions::new(OptLevel::O4).with_jobs(4), &[]).unwrap();
+        assert_eq!(j1, j4);
     }
 }

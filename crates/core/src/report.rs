@@ -15,7 +15,7 @@
 
 use crate::cache::CacheStats;
 use crate::driver::BuildReport;
-use cmo_hlo::HloStats;
+use cmo_hlo::{HloStats, PartitionStats};
 use cmo_naim::{DecodeError, Decoder, Encoder, LoaderStats, MemClass, MemorySnapshot};
 use cmo_telemetry::json::JsonWriter;
 use cmo_telemetry::{PhaseRecord, REPORT_SCHEMA};
@@ -50,6 +50,8 @@ pub struct CompileReport {
     pub total_loc: u64,
     /// HLO transformation counters.
     pub hlo: HloStats,
+    /// Cluster partition counters from the parallel HLO fan-out.
+    pub clusters: PartitionStats,
     /// NAIM loader activity counters.
     pub loader: LoaderStats,
     /// Optimizer memory snapshot (Figures 4/5).
@@ -93,6 +95,7 @@ impl CompileReport {
             cmo_loc: report.cmo_loc,
             total_loc: report.total_loc,
             hlo: report.hlo,
+            clusters: report.clusters,
             loader: report.loader,
             memory: report.peak_memory,
             llo_peak_bytes: report.llo_peak_bytes,
@@ -144,6 +147,11 @@ impl CompileReport {
         w.field_u64("dead_stores_removed", self.hlo.dead_stores_removed);
         w.field_u64("dead_routines", self.hlo.dead_routines);
         w.field_u64("clones", self.hlo.clones);
+        w.begin_obj(Some("clusters"));
+        w.field_u64("count", self.clusters.clusters);
+        w.field_u64("largest", self.clusters.largest);
+        w.field_u64("cross_edges", self.clusters.cross_edges);
+        w.end_obj();
         w.end_obj();
 
         w.begin_obj(Some("loader"));
@@ -240,6 +248,9 @@ impl CompileReport {
         enc.write_u64(self.hlo.dead_stores_removed);
         enc.write_u64(self.hlo.dead_routines);
         enc.write_u64(self.hlo.clones);
+        enc.write_u64(self.clusters.clusters);
+        enc.write_u64(self.clusters.largest);
+        enc.write_u64(self.clusters.cross_edges);
         enc.write_u64(self.loader.pools);
         enc.write_u64(self.loader.hits);
         enc.write_u64(self.loader.cache_rescues);
@@ -298,6 +309,11 @@ impl CompileReport {
             dead_stores_removed: dec.read_u64()?,
             dead_routines: dec.read_u64()?,
             clones: dec.read_u64()?,
+        };
+        let clusters = PartitionStats {
+            clusters: dec.read_u64()?,
+            largest: dec.read_u64()?,
+            cross_edges: dec.read_u64()?,
         };
         let loader = LoaderStats {
             pools: dec.read_u64()?,
@@ -366,6 +382,7 @@ impl CompileReport {
             cmo_loc,
             total_loc,
             hlo,
+            clusters,
             loader,
             memory,
             llo_peak_bytes,

@@ -8,11 +8,10 @@
 //! copy — without duplicating the callee into the caller's body. Sites
 //! passing the *same* constants share one clone.
 
-use crate::callgraph::CallGraph;
+use crate::cluster::{merge_outcomes, plan_clusters, run_clusters_seq};
 use crate::session::HloSession;
-use cmo_ir::{Const, Instr, Linkage, RoutineBody, RoutineId, RoutineMeta};
+use cmo_ir::{Const, Instr, RoutineBody, RoutineId};
 use cmo_naim::NaimError;
-use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
 /// Cloning heuristics.
@@ -50,9 +49,9 @@ pub struct CloneStats {
 }
 
 /// Constant arguments at a call site: `None` entries are unknown.
-type ConstSig = Vec<Option<Const>>;
+pub(crate) type ConstSig = Vec<Option<Const>>;
 
-fn const_sig_key(sig: &ConstSig) -> String {
+pub(crate) fn const_sig_key(sig: &ConstSig) -> String {
     sig.iter()
         .map(|c| match c {
             None => "_".to_owned(),
@@ -65,7 +64,10 @@ fn const_sig_key(sig: &ConstSig) -> String {
 
 /// Finds the constant-argument signature of `site` in `caller`,
 /// using the same last-definition-before-the-call scan as the inliner.
-fn site_const_args(caller: &RoutineBody, site: u32) -> Option<(Vec<cmo_ir::VReg>, ConstSig)> {
+pub(crate) fn site_const_args(
+    caller: &RoutineBody,
+    site: u32,
+) -> Option<(Vec<cmo_ir::VReg>, ConstSig)> {
     for block in &caller.blocks {
         for (ii, instr) in block.instrs.iter().enumerate() {
             if let Instr::Call { site: s, args, .. } = instr {
@@ -92,7 +94,7 @@ fn site_const_args(caller: &RoutineBody, site: u32) -> Option<(Vec<cmo_ir::VReg>
 /// Builds the specialized body: every load of a constant parameter
 /// becomes that constant (parameters the callee reassigns are left
 /// alone).
-fn specialize(callee: &RoutineBody, sig: &ConstSig) -> RoutineBody {
+pub(crate) fn specialize(callee: &RoutineBody, sig: &ConstSig) -> RoutineBody {
     let mut sig = sig.clone();
     for block in &callee.blocks {
         for instr in &block.instrs {
@@ -123,6 +125,10 @@ fn specialize(callee: &RoutineBody, sig: &ConstSig) -> RoutineBody {
 /// unprofiled sessions it does nothing (the paper only applies
 /// aggressive specialization where profiles justify the growth).
 ///
+/// Like [`crate::inline_pass`], this is a sequential wrapper over the
+/// cluster pipeline in [`crate::cluster`]; the driver fans the same
+/// clusters out across worker threads.
+///
 /// # Errors
 ///
 /// Propagates loader failures.
@@ -130,104 +136,11 @@ pub fn clone_pass(
     session: &mut HloSession,
     options: &CloneOptions,
 ) -> Result<CloneStats, NaimError> {
-    let mut stats = CloneStats::default();
-    let graph = CallGraph::build(session)?;
-    // (callee, const signature) -> clone id.
-    let mut clone_cache: BTreeMap<(RoutineId, String), RoutineId> = BTreeMap::new();
-
-    for e in graph.edges.clone() {
-        if stats.clones >= u64::from(options.max_clones) {
-            break;
-        }
-        if e.caller == e.callee || e.count < options.min_count {
-            continue;
-        }
-        if let Some(targets) = &options.targets {
-            if !targets.contains(&e.caller) {
-                continue;
-            }
-        }
-        let callee_meta = session.program.routine(e.callee).clone();
-        if callee_meta.il_size <= options.min_callee_il {
-            continue; // inlining territory
-        }
-        if session.program.name(callee_meta.name).contains("$clone") {
-            continue; // already specialized; nothing more to gain
-        }
-        let caller_body = session.body(e.caller)?;
-        let Some((_, sig)) = site_const_args(caller_body, e.site.0) else {
-            continue;
-        };
-        if sig.iter().all(Option::is_none) {
-            continue;
-        }
-        let key = (e.callee, const_sig_key(&sig));
-        let clone_id = match clone_cache.get(&key) {
-            Some(&id) => id,
-            None => {
-                let callee_body = session.body(e.callee)?.clone();
-                let specialized = specialize(&callee_body, &sig);
-                let scale = {
-                    let entries = session.entry_count(e.callee);
-                    if entries == 0 {
-                        0.0
-                    } else {
-                        e.count as f64 / entries as f64
-                    }
-                };
-                let counts = session
-                    .block_counts(e.callee)
-                    .map(|c| c.iter().map(|&x| (x as f64 * scale) as u64).collect());
-                let sites: BTreeMap<u32, u64> = session
-                    .site_counts_of(e.callee)
-                    .iter()
-                    .map(|(&s, &n)| (s, (n as f64 * scale) as u64))
-                    .collect();
-                let name = format!(
-                    "{}$clone{}",
-                    session.program.name(callee_meta.name),
-                    clone_cache.len()
-                );
-                let name_sym = session.program.interner_mut().intern(&name);
-                let meta = RoutineMeta {
-                    name: name_sym,
-                    module: callee_meta.module,
-                    sig: callee_meta.sig.clone(),
-                    linkage: Linkage::Internal,
-                    source_lines: callee_meta.source_lines,
-                    il_size: specialized.instr_count() as u32,
-                };
-                let id = session.add_cloned_routine(meta, specialized, counts, sites)?;
-                clone_cache.insert(key, id);
-                stats.clones += 1;
-                let tel = session.telemetry();
-                if tel.is_enabled() {
-                    tel.emit(cmo_telemetry::TraceEvent::CloneRoutine {
-                        callee: session.program.name(callee_meta.name).to_owned(),
-                        clone: name,
-                        count: e.count,
-                    });
-                }
-                id
-            }
-        };
-        // Retarget the site.
-        let caller_body = session.body_mut(e.caller)?;
-        'outer: for block in &mut caller_body.blocks {
-            for instr in &mut block.instrs {
-                if let Instr::Call { site, callee, .. } = instr {
-                    if site.0 == e.site.0 {
-                        *callee = cmo_ir::CalleeRef::Id(clone_id);
-                        break 'outer;
-                    }
-                }
-            }
-        }
-        session.unload(e.caller)?;
-        stats.retargeted += 1;
-    }
-    session.unload_all()?;
-    session.stats.clones += stats.clones;
+    let plan = plan_clusters(session, None, Some(options))?;
+    let config = session.loader_config();
+    let tel = session.telemetry().clone();
+    let outcomes = run_clusters_seq(&session.program, &plan, &config, None, Some(options), &tel)?;
+    let (_, stats) = merge_outcomes(session, &plan, outcomes)?;
     Ok(stats)
 }
 

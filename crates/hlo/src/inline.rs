@@ -21,33 +21,11 @@
 //!   every inline has a sequence number, and the limit cuts the pass
 //!   off exactly there.
 
-use crate::callgraph::CallGraph;
+use crate::cluster::{merge_outcomes, plan_clusters, run_clusters_seq};
 use crate::session::HloSession;
 use cmo_ir::{Block, CallSiteId, Instr, Local, RoutineBody, RoutineId, Terminator, VReg};
 use cmo_naim::NaimError;
-use cmo_telemetry::TraceEvent;
 use std::collections::BTreeSet;
-
-/// Builds an inline-decision trace event with resolved routine names.
-fn inline_event(
-    session: &HloSession,
-    caller: RoutineId,
-    callee: RoutineId,
-    site: CallSiteId,
-    accepted: bool,
-    reason: &'static str,
-    count: u64,
-) -> TraceEvent {
-    let program = &session.program;
-    TraceEvent::Inline {
-        caller: program.name(program.routine(caller).name).to_owned(),
-        callee: program.name(program.routine(callee).name).to_owned(),
-        site: site.0,
-        accepted,
-        reason,
-        count,
-    }
-}
 
 /// Inliner heuristics and limits.
 #[derive(Debug, Clone)]
@@ -109,22 +87,22 @@ pub struct InlineStats {
 }
 
 /// Result of splicing one callee into one caller.
-struct SpliceInfo {
+pub(crate) struct SpliceInfo {
     /// Caller block that received the original call's continuation.
-    cont_block: Block,
+    pub(crate) cont_block: Block,
     /// Block that held the call (kept its original id).
-    call_block: Block,
+    pub(crate) call_block: Block,
     /// First caller block id of the copied callee body.
-    callee_base: u32,
+    pub(crate) callee_base: u32,
     /// Number of callee blocks copied.
-    callee_blocks: u32,
+    pub(crate) callee_blocks: u32,
     /// Map from callee site id to the fresh caller site id.
-    site_map: Vec<(CallSiteId, CallSiteId)>,
+    pub(crate) site_map: Vec<(CallSiteId, CallSiteId)>,
 }
 
 /// Splices `callee` into `caller` at call site `site`. Returns `None`
 /// if the site is not found (already transformed).
-fn splice_call(
+pub(crate) fn splice_call(
     caller: &mut RoutineBody,
     site: CallSiteId,
     callee: &RoutineBody,
@@ -312,19 +290,11 @@ fn splice_call(
     })
 }
 
-struct Candidate {
-    caller: RoutineId,
-    site: CallSiteId,
-    callee: RoutineId,
-    count: u64,
-    /// Sort key for cache-friendly scheduling.
-    module_pair: (u32, u32),
-    /// Which heuristic qualified this site (`"small"` or `"hot"`),
-    /// reported in the accepted-inline trace event.
-    why: &'static str,
-}
-
-/// Runs the inlining phase over the session.
+/// Runs the inlining phase over the session: plans the cluster
+/// partition, runs every cluster sequentially (threading the op
+/// limit), and merges the outcomes. The driver fans the same clusters
+/// out across worker threads instead — both paths produce
+/// byte-identical results (see [`crate::cluster`]).
 ///
 /// # Errors
 ///
@@ -335,179 +305,11 @@ pub fn inline_pass(
     session: &mut HloSession,
     options: &InlineOptions,
 ) -> Result<InlineStats, NaimError> {
-    let mut stats = InlineStats::default();
-    let mut ops_done = 0u64;
+    let plan = plan_clusters(session, Some(options), None)?;
+    let config = session.loader_config();
     let tel = session.telemetry().clone();
-
-    for _pass in 0..options.max_passes {
-        // Derived-data discipline: rebuild the call graph from scratch.
-        let graph = CallGraph::build(session)?;
-        let mut candidates: Vec<Candidate> = Vec::new();
-        for e in &graph.edges {
-            if e.caller == e.callee {
-                continue; // no direct self-inlining
-            }
-            if let Some(targets) = &options.targets {
-                if !targets.contains(&e.caller) {
-                    continue;
-                }
-            }
-            stats.considered += 1;
-            let callee_il = session.program.routine(e.callee).il_size;
-            let count = session.site_count(e.caller, e.site.0);
-            let small = callee_il <= options.small_callee_il;
-            let callee_entries = session.entry_count(e.callee);
-            let dominant = callee_entries == 0
-                || count as f64 >= options.hot_site_dominance * callee_entries as f64;
-            let hot = count >= options.hot_site_min_count
-                && callee_il <= options.hot_callee_il
-                && dominant;
-            if small || hot {
-                let cm = session.program.routine(e.callee).module.0;
-                let rm = session.program.routine(e.caller).module.0;
-                candidates.push(Candidate {
-                    caller: e.caller,
-                    site: e.site,
-                    callee: e.callee,
-                    count,
-                    module_pair: (cm, rm),
-                    why: if small { "small" } else { "hot" },
-                });
-            } else if tel.is_enabled() {
-                let reason = if count < options.hot_site_min_count {
-                    "cold"
-                } else if callee_il > options.hot_callee_il {
-                    "too_large"
-                } else {
-                    "not_dominant"
-                };
-                tel.emit(inline_event(
-                    session, e.caller, e.callee, e.site, false, reason, count,
-                ));
-            }
-        }
-        if candidates.is_empty() {
-            break;
-        }
-        // Cache-friendly deterministic schedule: same (callee module,
-        // caller module) pairs adjacent; hotter sites first within a
-        // pair.
-        candidates.sort_by(|a, b| {
-            a.module_pair
-                .cmp(&b.module_pair)
-                .then(b.count.cmp(&a.count))
-                .then(a.caller.cmp(&b.caller))
-                .then(a.site.cmp(&b.site))
-        });
-
-        let mut did_any = false;
-        for c in candidates {
-            if let Some(limit) = options.op_limit {
-                if ops_done >= limit {
-                    stats.hit_op_limit = true;
-                    session.unload_all()?;
-                    session.stats.inlines = stats.inlines;
-                    session.stats.sites_considered = stats.considered;
-                    return Ok(stats);
-                }
-            }
-            let caller_il = session.program.routine(c.caller).il_size;
-            let callee_il = session.program.routine(c.callee).il_size;
-            if caller_il.saturating_add(callee_il) > options.caller_growth_cap {
-                stats.capped += 1;
-                if tel.is_enabled() {
-                    tel.emit(inline_event(
-                        session,
-                        c.caller,
-                        c.callee,
-                        c.site,
-                        false,
-                        "growth_cap",
-                        c.count,
-                    ));
-                }
-                continue;
-            }
-            // Clone the callee body (it is only read), then mutate the
-            // caller in place.
-            let callee_body = session.body(c.callee)?.clone();
-            let callee_entry = session.entry_count(c.callee);
-            let callee_counts: Option<Vec<u64>> =
-                session.block_counts(c.callee).map(<[u64]>::to_vec);
-            let callee_sites: Vec<(u32, u64)> = session
-                .site_counts_of(c.callee)
-                .iter()
-                .map(|(&s, &n)| (s, n))
-                .collect();
-
-            let caller_body = session.body_mut(c.caller)?;
-            let Some(info) = splice_call(caller_body, c.site, &callee_body) else {
-                if tel.is_enabled() {
-                    tel.emit(inline_event(
-                        session,
-                        c.caller,
-                        c.callee,
-                        c.site,
-                        false,
-                        "site_gone",
-                        c.count,
-                    ));
-                }
-                continue;
-            };
-            let new_il = caller_body.instr_count() as u32;
-            did_any = true;
-            ops_done += 1;
-            stats.inlines += 1;
-            if tel.is_enabled() {
-                tel.emit(inline_event(
-                    session, c.caller, c.callee, c.site, true, c.why, c.count,
-                ));
-            }
-
-            // Maintain profile counts through the transformation.
-            let scale = if callee_entry == 0 {
-                0.0
-            } else {
-                c.count as f64 / callee_entry as f64
-            };
-            let (counts, site_counts) = session.counts_mut(c.caller);
-            if let Some(counts) = counts.as_mut() {
-                let call_block_count = counts.get(info.call_block.index()).copied().unwrap_or(0);
-                // Continuation executes as often as the original block.
-                counts.resize(info.cont_block.index(), 0);
-                counts.push(call_block_count);
-                for i in 0..info.callee_blocks {
-                    let c_i = callee_counts
-                        .as_ref()
-                        .and_then(|v| v.get(i as usize).copied())
-                        .unwrap_or(callee_entry);
-                    counts.push((c_i as f64 * scale) as u64);
-                }
-                debug_assert_eq!(
-                    counts.len(),
-                    (info.callee_base + info.callee_blocks) as usize
-                );
-            }
-            site_counts.remove(&c.site.0);
-            for (old, new) in &info.site_map {
-                let old_count = callee_sites
-                    .iter()
-                    .find(|&&(s, _)| s == old.0)
-                    .map_or(0, |&(_, n)| n);
-                site_counts.insert(new.0, (old_count as f64 * scale) as u64);
-            }
-            session.program.routine_mut(c.caller).il_size = new_il;
-            session.unload(c.caller)?;
-            session.unload(c.callee)?;
-        }
-        session.unload_all()?;
-        if !did_any {
-            break;
-        }
-    }
-    session.stats.inlines += stats.inlines;
-    session.stats.sites_considered += stats.considered;
+    let outcomes = run_clusters_seq(&session.program, &plan, &config, Some(options), None, &tel)?;
+    let (stats, _) = merge_outcomes(session, &plan, outcomes)?;
     Ok(stats)
 }
 

@@ -7,6 +7,12 @@
 //! therefore reads in *all* code once to collect [`GlobalFacts`], even
 //! under selectivity; only the subsequent transformations are limited
 //! to selected routines.
+//!
+//! These whole-program facts are also what stands in for code the
+//! cluster-partitioned inliner cannot see: a cross-cluster callee is
+//! never an inline or clone candidate (see [`crate::cluster`]), so its
+//! effect on the caller's cluster is summarized entirely by the facts
+//! folded here before the partition is taken.
 
 use crate::callgraph::CallGraph;
 use crate::session::HloSession;

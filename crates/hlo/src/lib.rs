@@ -19,14 +19,27 @@
 //! of inline operations performed, binary-searchable by the automatic
 //! bug-isolation driver in the `cmo` crate.
 
+//! Since the cluster-partitioned refactor the inline/clone pipeline is
+//! WHOPR-shaped: [`plan_clusters`] condenses the call graph into
+//! independent clusters, [`run_cluster`] optimizes one cluster against
+//! a private loader (safe to run from worker threads), and
+//! [`merge_outcomes`] folds results back in deterministic cluster
+//! order. [`inline_pass`] / [`clone_pass`] are sequential wrappers
+//! over the same machinery.
+
 mod callgraph;
 mod clone;
+pub mod cluster;
 mod inline;
 mod ipa;
 mod session;
 
-pub use callgraph::{CallEdge, CallGraph};
+pub use callgraph::{CallEdge, CallGraph, Cluster, Partition, PartitionStats};
 pub use clone::{clone_pass, CloneOptions, CloneStats};
+pub use cluster::{
+    merge_outcomes, plan_clusters, run_cluster, run_clusters_seq, ClusterInput, ClusterOutcome,
+    ClusterPlan,
+};
 pub use inline::{inline_pass, InlineOptions, InlineStats};
 pub use ipa::{fold_globals, GlobalFacts, ModRef};
 pub use session::{HloSession, HloStats};

@@ -1,7 +1,9 @@
 //! The HLO optimization session: program state behind the NAIM loader.
 
 use cmo_ir::{LinkedUnit, ModuleId, Program, RoutineBody, RoutineId, Transitory};
-use cmo_naim::{MemClass, MemorySnapshot, NaimConfig, NaimError, PoolId, PoolKind, ShardedLoader};
+use cmo_naim::{
+    LoaderStats, MemClass, MemorySnapshot, NaimConfig, NaimError, PoolId, PoolKind, ShardedLoader,
+};
 use cmo_profile::{ProfileDb, RoutineShape};
 use cmo_telemetry::Telemetry;
 use std::collections::BTreeMap;
@@ -60,6 +62,12 @@ pub struct HloSession {
     stale: Vec<bool>,
     pub(crate) stats: HloStats,
     telemetry: Telemetry,
+    /// Loader activity absorbed from per-cluster loaders after the
+    /// parallel inline/clone fan-out.
+    folded_loader: LoaderStats,
+    /// Peak memory absorbed from per-cluster loaders, folded as a
+    /// concurrent peak on top of the at-split snapshot.
+    folded_peak: MemorySnapshot,
 }
 
 /// Shape of a body as HLO sees it (for profile correlation).
@@ -178,6 +186,8 @@ impl HloSession {
             stale,
             stats: HloStats::default(),
             telemetry,
+            folded_loader: LoaderStats::default(),
+            folded_peak: MemorySnapshot::default(),
         })
     }
 
@@ -243,16 +253,47 @@ impl HloSession {
         self.loader.unload_all()
     }
 
-    /// Current memory snapshot (the Figure 4/5 measurements).
+    /// Current memory snapshot (the Figure 4/5 measurements). Peaks
+    /// include any folded per-cluster loader peaks, so the figures see
+    /// the true high-water mark of the partitioned pipeline.
     #[must_use]
     pub fn memory(&self) -> MemorySnapshot {
-        self.loader.memory()
+        let mut snap = self.loader.memory();
+        for k in 0..snap.peak.len() {
+            snap.peak[k] = snap.peak[k].max(self.folded_peak.peak[k]);
+        }
+        snap.peak_total = snap.peak_total.max(self.folded_peak.peak_total);
+        snap
     }
 
-    /// Loader activity counters.
+    /// Loader activity counters, including activity absorbed from
+    /// per-cluster loaders.
     #[must_use]
-    pub fn loader_stats(&self) -> cmo_naim::LoaderStats {
-        self.loader.stats()
+    pub fn loader_stats(&self) -> LoaderStats {
+        let mut stats = self.loader.stats();
+        stats.absorb(&self.folded_loader);
+        stats
+    }
+
+    /// The NAIM configuration this session's loader runs under, for
+    /// deriving per-cluster loaders with the same thresholds.
+    #[must_use]
+    pub fn loader_config(&self) -> NaimConfig {
+        self.loader.config().clone()
+    }
+
+    /// Folds one finished cluster's loader activity into the session:
+    /// counters are summed, and the cluster's peak is treated as
+    /// concurrent with the `at_split` snapshot taken when the fan-out
+    /// began.
+    pub(crate) fn absorb_cluster_loader(
+        &mut self,
+        at_split: &MemorySnapshot,
+        stats: &LoaderStats,
+        peak: &MemorySnapshot,
+    ) {
+        self.folded_loader.absorb(stats);
+        self.folded_peak.fold_concurrent_peak(at_split, peak);
     }
 
     /// HLO transformation counters.
@@ -308,16 +349,21 @@ impl HloSession {
         self.counts.iter().any(Option::is_some)
     }
 
-    pub(crate) fn counts_mut(
-        &mut self,
-        rid: RoutineId,
-    ) -> (&mut Option<Vec<u64>>, &mut BTreeMap<u32, u64>) {
-        let i = rid.index();
-        (&mut self.counts[i], &mut self.site_counts[i])
-    }
-
     pub(crate) fn site_counts_of(&self, rid: RoutineId) -> &BTreeMap<u32, u64> {
         &self.site_counts[rid.index()]
+    }
+
+    /// Replaces the maintained counts of `rid` wholesale (cluster
+    /// merge: the per-cluster view hands back its transformed counts).
+    pub(crate) fn set_counts(
+        &mut self,
+        rid: RoutineId,
+        counts: Option<Vec<u64>>,
+        site_counts: BTreeMap<u32, u64>,
+    ) {
+        let i = rid.index();
+        self.counts[i] = counts;
+        self.site_counts[i] = site_counts;
     }
 
     /// Registers a new routine created by optimization (cloning): adds

@@ -84,6 +84,25 @@ impl MemorySnapshot {
     pub fn peak_class(&self, class: MemClass) -> usize {
         self.peak[class.slot()]
     }
+
+    /// Raises this snapshot's peaks to cover a private accountant that
+    /// ran *concurrently* with it.
+    ///
+    /// Partitioned HLO gives every callgraph cluster a private loader
+    /// with its own accountant starting from zero. The merged peak the
+    /// report should show is "what the session held when the clusters
+    /// were split off, plus the worst any one cluster reached on top of
+    /// that" — so per class the fold takes
+    /// `max(self.peak, at_split.current + cluster.peak)`, and likewise
+    /// for the all-class total. Both inputs are deterministic (the
+    /// split snapshot is taken once, before any cluster runs), so the
+    /// folded peaks are identical at every `-j` level.
+    pub fn fold_concurrent_peak(&mut self, at_split: &MemorySnapshot, cluster: &MemorySnapshot) {
+        for s in 0..4 {
+            self.peak[s] = self.peak[s].max(at_split.current[s] + cluster.peak[s]);
+        }
+        self.peak_total = self.peak_total.max(at_split.total() + cluster.peak_total);
+    }
 }
 
 impl fmt::Display for MemorySnapshot {

@@ -239,6 +239,27 @@ pub struct LoaderStats {
     pub fetch_work_units: u64,
 }
 
+impl LoaderStats {
+    /// Folds another loader's counters into this one, field by field.
+    ///
+    /// Used wherever several loaders present as one: the sharded
+    /// facade sums its shards, and partitioned HLO sums the private
+    /// per-cluster loaders into the session loader's totals.
+    pub fn absorb(&mut self, other: &LoaderStats) {
+        self.pools += other.pools;
+        self.hits += other.hits;
+        self.cache_rescues += other.cache_rescues;
+        self.uncompactions += other.uncompactions;
+        self.compactions += other.compactions;
+        self.offload_writes += other.offload_writes;
+        self.offload_reads += other.offload_reads;
+        self.bytes_swizzled += other.bytes_swizzled;
+        self.bytes_offloaded += other.bytes_offloaded;
+        self.work_units += other.work_units;
+        self.fetch_work_units += other.fetch_work_units;
+    }
+}
+
 #[derive(Debug)]
 enum State<T> {
     Expanded(T),
@@ -344,6 +365,22 @@ impl<T: Relocatable> Loader<T, MemBackend> {
     #[must_use]
     pub fn new(config: NaimConfig) -> Self {
         Loader::with_repository(config, Repository::in_memory())
+    }
+
+    /// Creates an in-memory loader whose local pool `i` carries global
+    /// id `id_base + i * id_stride` in telemetry.
+    ///
+    /// Partitioned HLO gives every callgraph cluster a private loader;
+    /// the id scheme keeps the pool ids those loaders emit in trace
+    /// events disjoint from the session loader's (and from each
+    /// other's), so a merged trace never shows two distinct pools under
+    /// one id.
+    #[must_use]
+    pub fn with_ids(config: NaimConfig, id_base: u32, id_stride: u32) -> Self {
+        let mut loader = Loader::new(config);
+        loader.id_base = id_base;
+        loader.id_stride = id_stride.max(1);
+        loader
     }
 }
 

@@ -264,18 +264,7 @@ impl<T: Relocatable, B: RepoBackend> ShardedLoader<T, B> {
     pub fn stats(&self) -> LoaderStats {
         let mut sum = LoaderStats::default();
         for shard in &self.shards {
-            let s = lock(shard).stats();
-            sum.pools += s.pools;
-            sum.hits += s.hits;
-            sum.cache_rescues += s.cache_rescues;
-            sum.uncompactions += s.uncompactions;
-            sum.compactions += s.compactions;
-            sum.offload_writes += s.offload_writes;
-            sum.offload_reads += s.offload_reads;
-            sum.bytes_swizzled += s.bytes_swizzled;
-            sum.bytes_offloaded += s.bytes_offloaded;
-            sum.work_units += s.work_units;
-            sum.fetch_work_units += s.fetch_work_units;
+            sum.absorb(&lock(shard).stats());
         }
         sum
     }

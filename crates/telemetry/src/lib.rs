@@ -110,7 +110,10 @@ pub enum TraceEvent {
         /// Why: accepted sites report the qualifying heuristic
         /// (`"small"`, `"hot"`); rejected sites the disqualifier
         /// (`"cold"`, `"too_large"`, `"not_dominant"`,
-        /// `"growth_cap"`, `"site_gone"`).
+        /// `"growth_cap"`, `"site_gone"`, or `"cross_cluster"` when
+        /// the callee lives in a different callgraph cluster than the
+        /// caller and partitioned HLO therefore may not touch the
+        /// site).
         reason: &'static str,
         /// Profile count of the site (0 when unprofiled).
         count: u64,
@@ -130,6 +133,20 @@ pub enum TraceEvent {
     DeadRoutine {
         /// The dead routine's name.
         routine: String,
+    },
+    /// One callgraph cluster produced by the HLO partitioner. Emitted
+    /// once per cluster, in cluster-index order, when the partition is
+    /// computed; the cluster id is also the virtual worker id
+    /// (`cluster + 1`) stamped on every event the cluster's
+    /// optimization job records.
+    Cluster {
+        /// Cluster index (0-based, ordered by smallest member routine).
+        cluster: u32,
+        /// Number of member routines.
+        routines: u64,
+        /// Call edges with both endpoints inside the cluster — the
+        /// only edges its inline/clone passes may transform.
+        edges: u64,
     },
     /// A ranked call site was kept or cut by coarse-grained
     /// selectivity.
@@ -249,6 +266,7 @@ impl TraceEvent {
             TraceEvent::Inline { .. } => "inline",
             TraceEvent::CloneRoutine { .. } => "clone",
             TraceEvent::DeadRoutine { .. } => "dead_routine",
+            TraceEvent::Cluster { .. } => "cluster",
             TraceEvent::SelectSite { .. } => "select_site",
             TraceEvent::SelectModule { .. } => "select_module",
             TraceEvent::Cache { .. } | TraceEvent::CacheGc { .. } => "cache",
@@ -308,6 +326,16 @@ impl TraceEvent {
                 out.push_str("\"routine\":\"");
                 escape_into(routine, out);
                 out.push('"');
+            }
+            TraceEvent::Cluster {
+                cluster,
+                routines,
+                edges,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"cluster\":{cluster},\"routines\":{routines},\"edges\":{edges}"
+                );
             }
             TraceEvent::SelectSite {
                 caller,
@@ -395,6 +423,21 @@ struct Recorded {
     worker: u32,
     phase: String,
     event: TraceEvent,
+}
+
+/// One event drained from a private sink, ready to be re-stamped into
+/// another sink by [`Telemetry::absorb_records`]. The `work` value is
+/// relative to the private sink's own clock (which starts at zero);
+/// the phase context is dropped because the absorbing sink supplies
+/// its own open phase path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Reading of the *private* work-unit clock when the event fired.
+    pub work: u64,
+    /// Worker id the recording handle was tagged with.
+    pub worker: u32,
+    /// The event itself.
+    pub event: TraceEvent,
 }
 
 #[derive(Debug, Default)]
@@ -562,6 +605,62 @@ impl Telemetry {
                 phase,
                 event,
             });
+        }
+    }
+
+    /// Takes every event recorded in this sink, returning them with
+    /// the final clock reading: `(records, total_work)`.
+    ///
+    /// This is the first half of the deterministic parallel-merge
+    /// protocol: a worker job records into a *private* enabled sink
+    /// (clock starting at zero), and when the job completes the driver
+    /// drains it and feeds the records to
+    /// [`Telemetry::absorb_records`] on the main sink — in a fixed
+    /// (index) order, so the merged trace does not depend on
+    /// scheduling. A disabled handle returns `(vec![], 0)`.
+    #[must_use]
+    pub fn drain_records(&self) -> (Vec<TraceRecord>, u64) {
+        match &self.inner {
+            None => (Vec::new(), 0),
+            Some(sink) => {
+                let mut inner = lock(sink);
+                let records = std::mem::take(&mut inner.events)
+                    .into_iter()
+                    .map(|rec| TraceRecord {
+                        work: rec.work,
+                        worker: rec.worker,
+                        event: rec.event,
+                    })
+                    .collect();
+                (records, inner.work)
+            }
+        }
+    }
+
+    /// Splices records drained from a private sink into this sink and
+    /// advances the clock by the private sink's total work.
+    ///
+    /// Each record is re-stamped at `current clock + record.work` and
+    /// tagged with this sink's innermost open phase path; the record's
+    /// own worker id is preserved. Callers absorb one drained sink
+    /// after another in a deterministic order (e.g. cluster index), so
+    /// the resulting clock values — and therefore the rendered trace —
+    /// are byte-identical no matter how many threads did the work.
+    /// No-op on a disabled handle.
+    pub fn absorb_records(&self, records: Vec<TraceRecord>, total_work: u64) {
+        if let Some(sink) = &self.inner {
+            let mut inner = lock(sink);
+            let base = inner.work;
+            let phase = inner.phase_path();
+            for rec in records {
+                inner.events.push(Recorded {
+                    work: base + rec.work,
+                    worker: rec.worker,
+                    phase: phase.clone(),
+                    event: rec.event,
+                });
+            }
+            inner.work = base + total_work;
         }
     }
 
@@ -868,6 +967,75 @@ mod tests {
         });
         assert_eq!(t.current_work(), 9);
         assert_eq!(t.n_events(), 1);
+    }
+
+    #[test]
+    fn cluster_event_serializes_all_fields() {
+        let t = Telemetry::enabled();
+        t.emit(TraceEvent::Cluster {
+            cluster: 2,
+            routines: 5,
+            edges: 9,
+        });
+        let trace = t.render_trace();
+        let ev = trace.lines().nth(1).unwrap();
+        assert!(ev.contains("\"event\":\"cluster\""), "{ev}");
+        assert!(ev.contains("\"cluster\":2"), "{ev}");
+        assert!(ev.contains("\"routines\":5"), "{ev}");
+        assert!(ev.contains("\"edges\":9"), "{ev}");
+    }
+
+    #[test]
+    fn drained_records_absorb_deterministically() {
+        // Two "cluster" sinks record independently; absorbing them in
+        // index order yields one fixed trace regardless of which sink
+        // did its work first.
+        let cluster = |worker: u32, routine: &str| {
+            let t = Telemetry::enabled().for_worker(worker);
+            t.work(10);
+            t.emit(TraceEvent::DeadRoutine {
+                routine: routine.into(),
+            });
+            t.work(5);
+            t.drain_records()
+        };
+        let (r0, w0) = cluster(1, "a");
+        let (r1, w1) = cluster(2, "b");
+
+        let main = Telemetry::enabled();
+        let _p = main.phase("hlo");
+        main.work(100);
+        main.absorb_records(r0.clone(), w0);
+        main.absorb_records(r1.clone(), w1);
+        assert_eq!(main.current_work(), 130);
+        let trace = main.render_trace();
+        let lines: Vec<&str> = trace.lines().skip(1).collect();
+        assert_eq!(lines.len(), 2);
+        // First cluster re-stamped at 100 + 10, second at 115 + 10,
+        // both inside the absorbing sink's open phase.
+        assert!(lines[0].contains("\"work\":110"), "{trace}");
+        assert!(lines[0].contains("\"worker\":1"), "{trace}");
+        assert!(lines[0].contains("\"phase\":\"hlo\""), "{trace}");
+        assert!(lines[1].contains("\"work\":125"), "{trace}");
+        assert!(lines[1].contains("\"worker\":2"), "{trace}");
+
+        // Same drains absorbed into a fresh sink give the same bytes.
+        let again = Telemetry::enabled();
+        let _p2 = again.phase("hlo");
+        again.work(100);
+        again.absorb_records(r0, w0);
+        again.absorb_records(r1, w1);
+        assert_eq!(trace, again.render_trace());
+    }
+
+    #[test]
+    fn drain_on_disabled_handle_is_empty() {
+        let t = Telemetry::disabled();
+        let (records, work) = t.drain_records();
+        assert!(records.is_empty());
+        assert_eq!(work, 0);
+        t.absorb_records(Vec::new(), 7); // no-op, must not panic
+        assert_eq!(t.current_work(), 0);
     }
 
     #[test]

@@ -98,6 +98,84 @@ fn sharded_loader_does_not_change_the_build() {
     }
 }
 
+/// A hand-written program whose call graph partitions into several
+/// independent clusters: two "families" (a big root plus a small
+/// helper each) whose internal edges couple, and a `main` that only
+/// makes cross-cluster calls to the big roots — too big to be inline
+/// candidates, so the edges stay cross-cluster.
+fn multi_cluster_build(jobs: usize) -> (String, String, Vec<u8>) {
+    let big_root = |name: &str, helper: &str| {
+        let bulk: String = (0..40)
+            .map(|i| format!("acc = acc + {} * x;", i + 2))
+            .collect::<Vec<_>>()
+            .join("\n");
+        format!(
+            r#"
+            static fn {helper}(x: int) -> int {{ return x * 3 + 1; }}
+            fn {name}(x: int) -> int {{
+                var acc: int = {helper}(x);
+                {bulk}
+                return acc;
+            }}
+            "#
+        )
+    };
+    let app = r#"
+        extern fn root_a(x: int) -> int;
+        extern fn root_b(x: int) -> int;
+        fn main() -> int { return root_a(5) + root_b(7); }
+    "#;
+    let mut cc = cmo::Compiler::new();
+    cc.add_source("app", app).unwrap();
+    cc.add_source("fam_a", &big_root("root_a", "help_a"))
+        .unwrap();
+    cc.add_source("fam_b", &big_root("root_b", "help_b"))
+        .unwrap();
+    let tel = Telemetry::enabled();
+    let mut opts = BuildOptions::new(OptLevel::O4).with_jobs(jobs);
+    opts.telemetry = tel.clone();
+    let out = cc.build(&opts).unwrap();
+    let code: Vec<u8> = out
+        .image
+        .code
+        .iter()
+        .flat_map(|w| format!("{w:?};").into_bytes())
+        .collect();
+    (out.compile_report().to_json(), tel.render_trace(), code)
+}
+
+#[test]
+fn multi_cluster_hlo_is_byte_identical_across_jobs() {
+    let (report_1, trace_1, code_1) = multi_cluster_build(1);
+    // The fixture must actually exercise the fan-out: the partitioner
+    // has to find at least two clusters or this test proves nothing.
+    let n_clusters: u64 = report_1
+        .split("\"clusters\":")
+        .nth(1)
+        .and_then(|rest| rest.split("\"count\":").nth(1))
+        .and_then(|rest| {
+            rest.trim_start()
+                .split(|c: char| !c.is_ascii_digit())
+                .next()
+                .and_then(|n| n.parse().ok())
+        })
+        .expect("report carries an hlo.clusters.count field");
+    assert!(
+        n_clusters >= 2,
+        "expected a multi-cluster program, got {n_clusters}"
+    );
+    assert!(
+        trace_1.contains("\"cluster\""),
+        "trace records cluster events"
+    );
+    for jobs in jobs_levels() {
+        let (report_j, trace_j, code_j) = multi_cluster_build(jobs);
+        assert_eq!(report_1, report_j, "report drifted at -j{jobs}");
+        assert_eq!(trace_1, trace_j, "trace drifted at -j{jobs}");
+        assert_eq!(code_1, code_j, "image drifted at -j{jobs}");
+    }
+}
+
 #[test]
 fn parallel_frontend_matches_sequential_frontend() {
     let app = generate(&SynthSpec::small("par-fe", 9));

@@ -12,7 +12,9 @@
 //! `--json-out <path>` (write a `cmo.bench.v1` snapshot for
 //! `bench-diff`).
 
-use cmo_bench::{bench_args, measure_standard_levels, write_csv, BenchReport, BenchRow};
+use cmo_bench::{
+    bench_args, measure_cache_tiers, measure_standard_levels, write_csv, BenchReport, BenchRow,
+};
 use cmo_synth::{generate, mcad_preset, spec_suite};
 
 fn main() {
@@ -83,6 +85,25 @@ fn main() {
             .float("speedup_cmo_pbo", s(&o4p));
         snapshot.rows.push(row);
     }
+    // Cache-tier scenario on the first SPEC program: cold vs
+    // local-warm vs remote-warm work units, gated deterministically.
+    let tiers_app = generate(&spec_suite().into_iter().next().expect("non-empty suite"));
+    let tiers = measure_cache_tiers(&tiers_app);
+    println!(
+        "cache tiers on {}: cold {} work, local-warm {} work, remote-warm {} work ({} bytes fetched)",
+        tiers_app.name,
+        tiers.cold_work,
+        tiers.local_warm_work,
+        tiers.remote_warm_work,
+        tiers.remote_fetched_bytes
+    );
+    let mut row = BenchRow::new(format!("{}-cache-tiers", tiers_app.name));
+    row.int("cold_work", tiers.cold_work)
+        .int("local_warm_work", tiers.local_warm_work)
+        .int("remote_warm_work", tiers.remote_warm_work)
+        .int("remote_fetched_bytes", tiers.remote_fetched_bytes);
+    snapshot.rows.push(row);
+
     if let Some(path) = &args.json_out {
         snapshot.write(path);
     }

@@ -14,7 +14,9 @@
 //! <path>` (write a `cmo.bench.v1` snapshot for `bench-diff`).
 
 use cmo::{BuildOptions, OptLevel};
-use cmo_bench::{bench_args, compiler_for, measure, train, write_csv, BenchReport, BenchRow};
+use cmo_bench::{
+    bench_args, compiler_for, measure, measure_cache_tiers, train, write_csv, BenchReport, BenchRow,
+};
 use cmo_synth::{generate, mcad_preset};
 
 fn main() {
@@ -72,6 +74,20 @@ fn main() {
             .float("speedup_vs_o2p", speedup);
         snapshot.rows.push(row);
     }
+    // Cache-tier scenario on the sweep app: cold vs local-warm vs
+    // remote-warm work units, gated deterministically.
+    let tiers = measure_cache_tiers(&app);
+    println!(
+        "cache tiers: cold {} work, local-warm {} work, remote-warm {} work ({} bytes fetched)",
+        tiers.cold_work, tiers.local_warm_work, tiers.remote_warm_work, tiers.remote_fetched_bytes
+    );
+    let mut row = BenchRow::new("cache-tiers");
+    row.int("cold_work", tiers.cold_work)
+        .int("local_warm_work", tiers.local_warm_work)
+        .int("remote_warm_work", tiers.remote_warm_work)
+        .int("remote_fetched_bytes", tiers.remote_fetched_bytes);
+    snapshot.rows.push(row);
+
     if let Some(path) = &args.json_out {
         snapshot.write(path);
     }

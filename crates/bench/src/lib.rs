@@ -10,11 +10,13 @@
 //! EXPERIMENTS.md for the paper-vs-measured record.
 
 use cmo::{
-    BuildError, BuildOptions, BuildOutput, CompileReport, Compiler, OptLevel, ProfileDb, Telemetry,
+    BuildCache, BuildError, BuildOptions, BuildOutput, CompileReport, Compiler, LoopbackTransport,
+    MemStorage, OptLevel, ProfileDb, RemoteStorage, RetryPolicy, Storage, Telemetry, TieredStorage,
 };
 use cmo_synth::SynthApp;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 pub mod json;
@@ -174,6 +176,72 @@ pub fn measure_standard_levels(
         assert_eq!(o1.checksum, m.checksum, "miscompile in {}", app.name);
     }
     Ok([o1, o2, o2p, o4, o4p])
+}
+
+/// Deterministic work-unit cost of one `+O4` cached build in the
+/// three cache scenarios the remote tier adds: cold (empty cache),
+/// local-warm (second build on the same local store), and remote-warm
+/// (fresh machine, empty local tier, warm `cmocached` daemon reached
+/// through the in-process loopback transport).
+#[derive(Debug)]
+pub struct CacheTierWork {
+    /// Work units of the cold build.
+    pub cold_work: u64,
+    /// Work units of the local-warm replay.
+    pub local_warm_work: u64,
+    /// Work units of the remote-warm replay (includes the wire
+    /// fetches that populate the local tier).
+    pub remote_warm_work: u64,
+    /// Payload bytes the remote-warm replay fetched from the daemon.
+    pub remote_fetched_bytes: u64,
+}
+
+/// Measures [`CacheTierWork`] for `app`. All three counts come off the
+/// deterministic work-unit clock (the loopback transport never sleeps
+/// and a healthy wire schedules no backoff), so bench-diff can gate
+/// them.
+///
+/// # Panics
+///
+/// Panics if any build fails — the storage here is in-memory and the
+/// wire is loopback, so a failure is a bug.
+#[must_use]
+pub fn measure_cache_tiers(app: &SynthApp) -> CacheTierWork {
+    let cc = compiler_for(app);
+    let build = |storage: Arc<dyn Storage>| -> u64 {
+        let tel = Telemetry::enabled();
+        let mut bcache = BuildCache::open_on(Arc::clone(&storage), &tel).expect("open bench cache");
+        let mut opts = BuildOptions::new(OptLevel::O4);
+        opts.telemetry = tel.clone();
+        cc.build_cached(&opts, &mut bcache).expect("cached build");
+        tel.current_work()
+    };
+    let tier_over = |daemon: &Arc<MemStorage>| -> Arc<dyn Storage> {
+        let transport = Arc::new(LoopbackTransport::over(
+            Arc::clone(daemon) as Arc<dyn Storage>
+        ));
+        let remote = RemoteStorage::new(transport, RetryPolicy::default());
+        Arc::new(TieredStorage::new(
+            Arc::new(MemStorage::new()) as Arc<dyn Storage>,
+            Arc::new(remote),
+        ))
+    };
+
+    let local = Arc::new(MemStorage::new());
+    let cold_work = build(Arc::clone(&local) as Arc<dyn Storage>);
+    let local_warm_work = build(local as Arc<dyn Storage>);
+
+    let daemon = Arc::new(MemStorage::new());
+    build(tier_over(&daemon)); // one machine's cold build warms the daemon
+    let fresh_machine = tier_over(&daemon);
+    let remote_warm_work = build(Arc::clone(&fresh_machine));
+    let remote_fetched_bytes = fresh_machine.remote_stats().map_or(0, |s| s.fetched_bytes);
+    CacheTierWork {
+        cold_work,
+        local_warm_work,
+        remote_warm_work,
+        remote_fetched_bytes,
+    }
 }
 
 /// Writes a CSV file under `results/`, creating the directory.

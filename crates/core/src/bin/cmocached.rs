@@ -1,0 +1,110 @@
+//! `cmocached` — the shared-cache daemon behind `cmocc --remote-cache`.
+//!
+//! ```text
+//! usage: cmocached --store <dir> [--listen <addr>]
+//!
+//!   --store <dir>    directory holding the daemon's blob store
+//!   --listen <addr>  TCP address to bind (default 127.0.0.1:0; the
+//!                    bound address is printed to stdout as
+//!                    `listening on <addr>`)
+//! ```
+//!
+//! The daemon answers the `CMOR` frame protocol over plain TCP: one
+//! GET/PUT/DEL request frame per exchange, each reply carrying a CRC
+//! and (for non-empty bodies) the content hash the client re-verifies.
+//! Blobs are stored content-addressed in the `--store` directory with a
+//! persistent name index, so a restarted daemon keeps its warmth and
+//! concurrent PUTs of identical content deduplicate. Malformed frames
+//! are answered with an `Err` frame or a dropped connection — the
+//! client's retry logic owns the recovery; the daemon never panics on
+//! wire input.
+
+use cmo_naim::{read_frame_bytes, CacheService, DiskStorage};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> String {
+    "usage: cmocached --store <dir> [--listen <addr>]".to_owned()
+}
+
+/// Serves one client connection. A connection carries any number of
+/// request frames; the connect-per-exchange client sends one and hangs
+/// up, which lands here as a clean end-of-stream.
+fn serve_connection(service: &CacheService, mut stream: TcpStream) {
+    let idle = std::time::Duration::from_secs(30);
+    let _ = stream.set_read_timeout(Some(idle));
+    let _ = stream.set_write_timeout(Some(idle));
+    loop {
+        let request = match read_frame_bytes(&mut stream) {
+            Ok(bytes) => bytes,
+            // Disconnect, idle timeout, or an unframeable prefix: drop
+            // the line; the client's retry/backoff owns the recovery.
+            Err(_) => return,
+        };
+        let reply = service.handle(&request);
+        if stream
+            .write_all(&reply)
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut store: Option<String> = None;
+    let mut listen = "127.0.0.1:0".to_owned();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => {
+                store = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| "--store expects a directory".to_owned())?,
+                );
+            }
+            "--listen" => {
+                listen = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| "--listen expects an address".to_owned())?;
+            }
+            "-h" | "--help" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    let store = store.ok_or_else(|| format!("--store is required\n{}", usage()))?;
+    let storage =
+        DiskStorage::new(&store).map_err(|e| format!("cannot open store at {store}: {e}"))?;
+    let service = Arc::new(CacheService::new(Arc::new(storage)));
+    let listener =
+        TcpListener::bind(listen.as_str()).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("cannot read bound address: {e}"))?;
+    // Machine-readable line start scripts parse (meaningful when the
+    // requested port was 0).
+    println!("listening on {addr}");
+    let _ = std::io::stdout().flush();
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || serve_connection(&service, stream));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("cmocached: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -38,6 +38,20 @@
 //!                      auto-compact before a cached build whenever
 //!                      the repository carries more than N dead bytes
 //!                      (requires --cache-dir)
+//!   --remote-cache <addr>
+//!                      two-tier cache: local misses read through a
+//!                      cmocached daemon at <addr> (host:port) and
+//!                      committed records write through to it; a
+//!                      remote outage demotes the build to local-only
+//!                      and never fails it (requires --cache-dir)
+//!   --remote-timeout-ms <N>
+//!                      per-operation remote socket timeout in
+//!                      milliseconds (default 1000; requires
+//!                      --remote-cache)
+//!   --remote-retries <N>
+//!                      extra attempts per failed remote operation,
+//!                      backed off on a deterministic seeded schedule
+//!                      (default 2; requires --remote-cache)
 //!   --keep-going       degraded mode: a failing module becomes a
 //!                      diagnostic, the remaining modules still build
 //!                      (and cache); the image links only if all
@@ -63,11 +77,13 @@
 
 use cmo::{
     build_objects_cached, BuildCache, BuildError, BuildOptions, CompileReport, DiskStorage,
-    FaultStats, NaimConfig, OptLevel, ProfileDb, Telemetry, TraceEvent,
+    FaultStats, NaimConfig, OptLevel, ProfileDb, RemoteStorage, RetryPolicy, Storage, TcpTransport,
+    Telemetry, TieredStorage, TraceEvent,
 };
 use cmo_ir::IlObject;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Cli {
     inputs: Vec<PathBuf>,
@@ -90,6 +106,9 @@ struct Cli {
     no_mmap: bool,
     gc_cache: bool,
     gc_threshold_bytes: Option<u64>,
+    remote_cache: Option<String>,
+    remote_timeout_ms: Option<u64>,
+    remote_retries: Option<u32>,
     keep_going: bool,
     isolate: bool,
 }
@@ -112,7 +131,8 @@ fn usage() -> String {
     "usage: cmocc [-c] [+O1|+O2|+O4] [+P <db>] [+I] [--sel <pct>] [--budget <MiB>] \
      [-j <N>] [--shards <N>] [--run <v1,v2,..>] [--profile-out <f>] [--emit-asm] [--report] \
      [--report-json <f>] [--trace <f>] [--cache-dir <dir>] [--no-cache] [--no-mmap] \
-     [--gc-cache] [--gc-threshold-bytes <N>] [--keep-going] [--isolate] <files...>"
+     [--gc-cache] [--gc-threshold-bytes <N>] [--remote-cache <addr>] [--remote-timeout-ms <N>] \
+     [--remote-retries <N>] [--keep-going] [--isolate] <files...>"
         .to_owned()
 }
 
@@ -155,6 +175,24 @@ fn validate(cli: &Cli) -> Result<(), String> {
     if cli.gc_threshold_bytes.is_some() && cli.cache_dir.is_none() {
         return Err(
             "--gc-threshold-bytes requires --cache-dir (it compacts that cache's repository)"
+                .to_owned(),
+        );
+    }
+    if cli.remote_cache.is_some() && cli.cache_dir.is_none() {
+        return Err(
+            "--remote-cache requires --cache-dir (the remote tier populates the local cache)"
+                .to_owned(),
+        );
+    }
+    if cli.remote_timeout_ms.is_some() && cli.remote_cache.is_none() {
+        return Err(
+            "--remote-timeout-ms requires --remote-cache (it bounds that daemon's operations)"
+                .to_owned(),
+        );
+    }
+    if cli.remote_retries.is_some() && cli.remote_cache.is_none() {
+        return Err(
+            "--remote-retries requires --remote-cache (it bounds that daemon's operations)"
                 .to_owned(),
         );
     }
@@ -221,6 +259,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         no_mmap: false,
         gc_cache: false,
         gc_threshold_bytes: None,
+        remote_cache: None,
+        remote_timeout_ms: None,
+        remote_retries: None,
         keep_going: false,
         isolate: false,
     };
@@ -301,6 +342,23 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     next("a size in bytes")?
                         .parse()
                         .map_err(|e| format!("bad --gc-threshold-bytes value: {e}"))?,
+                );
+            }
+            "--remote-cache" => {
+                cli.remote_cache = Some(next("a daemon address (host:port)")?);
+            }
+            "--remote-timeout-ms" => {
+                cli.remote_timeout_ms = Some(
+                    next("a timeout in milliseconds")?
+                        .parse()
+                        .map_err(|e| format!("bad --remote-timeout-ms value: {e}"))?,
+                );
+            }
+            "--remote-retries" => {
+                cli.remote_retries = Some(
+                    next("a retry count")?
+                        .parse()
+                        .map_err(|e| format!("bad --remote-retries value: {e}"))?,
                 );
             }
             "--keep-going" => cli.keep_going = true,
@@ -602,8 +660,10 @@ fn write_degraded_outputs(
     faults: &FaultStats,
 ) -> Result<(), Failure> {
     let mut cache_stats = cmo::CacheStats::default();
+    let mut faults = faults.clone();
     if let Some(cache) = bcache {
         cache_stats = cache.stats();
+        faults.remote = cache.remote_stats();
         if let Err(e) = cache.persist() {
             tel.emit(TraceEvent::Degraded {
                 component: "cache",
@@ -616,7 +676,7 @@ fn write_degraded_outputs(
         let report = CompileReport {
             total_modules: cli.inputs.len(),
             cache: cache_stats,
-            faults: faults.clone(),
+            faults,
             ..CompileReport::default()
         };
         std::fs::write(path, report.to_json())
@@ -642,8 +702,24 @@ fn run_cli(cli: &Cli) -> Result<u8, Failure> {
             let storage = DiskStorage::new(dir)
                 .map_err(|e| format!("cannot open cache at {}: {e}", dir.display()))?
                 .with_mmap(!cli.no_mmap);
+            let storage: Arc<dyn Storage> = match &cli.remote_cache {
+                Some(addr) => {
+                    let transport =
+                        TcpTransport::new(addr.clone(), cli.remote_timeout_ms.unwrap_or(1000));
+                    let policy = RetryPolicy {
+                        retries: cli
+                            .remote_retries
+                            .unwrap_or_else(|| RetryPolicy::default().retries),
+                        ..RetryPolicy::default()
+                    };
+                    let remote =
+                        RemoteStorage::new(Arc::new(transport), policy).with_telemetry(tel.clone());
+                    Arc::new(TieredStorage::new(Arc::new(storage), Arc::new(remote)))
+                }
+                None => Arc::new(storage),
+            };
             Some(
-                BuildCache::open_on(std::sync::Arc::new(storage), &tel)
+                BuildCache::open_on(storage, &tel)
                     .map_err(|e| format!("cannot open cache at {}: {e}", dir.display()))?,
             )
         }
@@ -767,6 +843,22 @@ fn run_cli(cli: &Cli) -> Result<u8, Failure> {
                 r.cache.module_misses,
                 r.cache.invalidations,
                 if r.cache.build_hits > 0 { "yes" } else { "no" }
+            );
+        }
+        if r.faults.remote.enabled {
+            let rem = &r.faults.remote;
+            println!(
+                "  remote: {} hits, {} misses, {} puts, {} retries, {} failures{}",
+                rem.hits,
+                rem.misses,
+                rem.puts,
+                rem.retries,
+                rem.failures,
+                if rem.breaker_open {
+                    " (breaker open, demoted to local)"
+                } else {
+                    ""
+                }
             );
         }
         for phase in &r.phases {

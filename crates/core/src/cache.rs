@@ -67,7 +67,8 @@ use crate::report::CompileReport;
 /// earlier compiler builds miss cleanly instead of decoding garbage.
 /// (4: the report codec gained the `cache.gc` counters.)
 /// (5: the report codec gained the `hlo.clusters` partition counters.)
-pub const CACHE_FORMAT: u32 = 5;
+/// (6: the report codec gained the `faults.remote` tier counters.)
+pub const CACHE_FORMAT: u32 = 6;
 
 /// First line of `manifest.tsv`.
 const MANIFEST_SCHEMA: &str = "cmo.cache.v1";
@@ -352,6 +353,16 @@ impl BuildCache {
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Remote-tier traffic of the storage stack this cache sits on
+    /// (all zeros when no remote tier is attached). Snapshotted into
+    /// the report's `faults.remote` section at the same point as
+    /// [`BuildCache::stats`], so cold and warm reports stay
+    /// byte-identical.
+    #[must_use]
+    pub fn remote_stats(&self) -> cmo_naim::RemoteStats {
+        self.storage.remote_stats().unwrap_or_default()
     }
 
     /// Number of records in the underlying repository (tests/bench).

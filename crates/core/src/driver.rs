@@ -927,8 +927,12 @@ pub fn build_objects_cached(
     let mut out = build_objects(objects, options)?;
     // Snapshot the cache counters *before* building the report that
     // gets stored, so the stored report equals the one this cold run
-    // emits — the warm replay then matches byte for byte.
+    // emits — the warm replay then matches byte for byte. The remote
+    // tier's counters are snapshotted at the same point for the same
+    // reason (the put/persist pushes below deliberately land after the
+    // snapshot on every path).
     out.report.cache = bcache.stats();
+    out.report.faults.remote = bcache.remote_stats();
     let stored = CompileReport::from_build(&out.report);
     bcache.put_build(&key, &out.image, &stored, &tel);
     persist_or_degrade(bcache, &tel);

@@ -74,8 +74,9 @@ pub use cmo_frontend::compile_module;
 pub use cmo_hlo::InlineOptions;
 pub use cmo_ir::IlObject;
 pub use cmo_naim::{
-    DiskStorage, Fault, FaultyStorage, MemStorage, NaimConfig, NaimLevel, RepoRecovery, Storage,
-    StorageFile, Thresholds,
+    CacheService, DiskStorage, Fault, FaultyStorage, FlakyTransport, LoopbackTransport, MemStorage,
+    NaimConfig, NaimLevel, RemoteStats, RemoteStorage, RemoteTransport, RepoRecovery, RetryPolicy,
+    Storage, StorageFile, TcpTransport, Thresholds, TieredStorage, WireFault,
 };
 pub use cmo_profile::ProfileDb;
 pub use cmo_telemetry::{PhaseRecord, Telemetry, TraceEvent};

@@ -16,7 +16,7 @@
 use crate::cache::CacheStats;
 use crate::driver::BuildReport;
 use cmo_hlo::{HloStats, PartitionStats};
-use cmo_naim::{DecodeError, Decoder, Encoder, LoaderStats, MemClass, MemorySnapshot};
+use cmo_naim::{DecodeError, Decoder, Encoder, LoaderStats, MemClass, MemorySnapshot, RemoteStats};
 use cmo_telemetry::json::JsonWriter;
 use cmo_telemetry::{PhaseRecord, REPORT_SCHEMA};
 
@@ -34,6 +34,10 @@ pub struct FaultStats {
     /// Names of modules that failed and were skipped (`--keep-going`),
     /// in input order.
     pub degraded: Vec<String>,
+    /// Remote shared-cache tier traffic and failures (all zeros with
+    /// no `--remote-cache`). A tripped breaker shows up here — the
+    /// build itself still succeeds on local state alone.
+    pub remote: RemoteStats,
 }
 
 /// Aggregated, versioned view of one compilation, serializable to the
@@ -215,6 +219,18 @@ impl CompileReport {
             w.elem_str(module);
         }
         w.end_arr();
+        w.begin_obj(Some("remote"));
+        w.field_bool("enabled", self.faults.remote.enabled);
+        w.field_u64("gets", self.faults.remote.gets);
+        w.field_u64("hits", self.faults.remote.hits);
+        w.field_u64("misses", self.faults.remote.misses);
+        w.field_u64("puts", self.faults.remote.puts);
+        w.field_u64("retries", self.faults.remote.retries);
+        w.field_u64("failures", self.faults.remote.failures);
+        w.field_bool("breaker_open", self.faults.remote.breaker_open);
+        w.field_u64("fetched_bytes", self.faults.remote.fetched_bytes);
+        w.field_u64("pushed_bytes", self.faults.remote.pushed_bytes);
+        w.end_obj();
         w.end_obj();
 
         w.begin_arr(Some("phases"));
@@ -286,6 +302,16 @@ impl CompileReport {
         for module in &self.faults.degraded {
             enc.write_str(module);
         }
+        enc.write_bool(self.faults.remote.enabled);
+        enc.write_u64(self.faults.remote.gets);
+        enc.write_u64(self.faults.remote.hits);
+        enc.write_u64(self.faults.remote.misses);
+        enc.write_u64(self.faults.remote.puts);
+        enc.write_u64(self.faults.remote.retries);
+        enc.write_u64(self.faults.remote.failures);
+        enc.write_bool(self.faults.remote.breaker_open);
+        enc.write_u64(self.faults.remote.fetched_bytes);
+        enc.write_u64(self.faults.remote.pushed_bytes);
         enc.write_usize(self.phases.len());
         for phase in &self.phases {
             enc.write_str(&phase.name);
@@ -361,9 +387,22 @@ impl CompileReport {
         for _ in 0..n_degraded {
             degraded.push(dec.read_str()?.to_owned());
         }
+        let remote = RemoteStats {
+            enabled: dec.read_bool()?,
+            gets: dec.read_u64()?,
+            hits: dec.read_u64()?,
+            misses: dec.read_u64()?,
+            puts: dec.read_u64()?,
+            retries: dec.read_u64()?,
+            failures: dec.read_u64()?,
+            breaker_open: dec.read_bool()?,
+            fetched_bytes: dec.read_u64()?,
+            pushed_bytes: dec.read_u64()?,
+        };
         let faults = FaultStats {
             job_panics,
             degraded,
+            remote,
         };
         let n_phases = dec.read_usize()?;
         let mut phases = Vec::with_capacity(n_phases.min(4096));
@@ -454,6 +493,7 @@ mod tests {
             "\"cache\"",
             "\"gc\"",
             "\"faults\"",
+            "\"remote\"",
             "\"phases\"",
         ] {
             assert!(text.contains(section), "missing {section} in {text}");
@@ -483,6 +523,18 @@ mod tests {
         r.faults = FaultStats {
             job_panics: 1,
             degraded: vec!["util".to_owned(), "app".to_owned()],
+            remote: RemoteStats {
+                enabled: true,
+                gets: 4,
+                hits: 2,
+                misses: 1,
+                puts: 3,
+                retries: 2,
+                failures: 1,
+                breaker_open: true,
+                fetched_bytes: 512,
+                pushed_bytes: 1024,
+            },
         };
         let mut enc = Encoder::new();
         r.encode(&mut enc);

@@ -336,22 +336,21 @@ fn mmap_toggle_reproduces_reports_byte_for_byte() {
     std::fs::write(&lib, LIB).unwrap();
     std::fs::write(&app, APP).unwrap();
 
-    let emit = |tag: &str, jflag: &str, extra: &[&str]| -> String {
+    let emit = |tag: &str, cache: &str, jflag: &str, extra: &[&str], envs: &[(&str, &str)]| {
         let report = dir.join(format!("report-{tag}.json"));
-        let cache = dir.join(format!(
-            "cache-{}",
-            if extra.is_empty() { "on" } else { "off" }
-        ));
-        let out = cmocc()
-            .args(["+O4", jflag, "--budget", "0", "--cache-dir"])
+        let cache = dir.join(format!("cache-{cache}"));
+        let mut cmd = cmocc();
+        cmd.args(["+O4", jflag, "--budget", "0", "--cache-dir"])
             .arg(&cache)
             .args(extra)
             .arg("--report-json")
             .arg(&report)
             .arg(&lib)
-            .arg(&app)
-            .output()
-            .unwrap();
+            .arg(&app);
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let out = cmd.output().unwrap();
         assert!(
             out.status.success(),
             "{}",
@@ -360,16 +359,41 @@ fn mmap_toggle_reproduces_reports_byte_for_byte() {
         std::fs::read_to_string(&report).unwrap()
     };
 
-    let on_cold = emit("on-cold", "-j1", &[]);
-    let on_warm = emit("on-warm", "-j4", &[]);
-    let off_cold = emit("off-cold", "-j1", &["--no-mmap"]);
-    let off_warm = emit("off-warm", "-j4", &["--no-mmap"]);
+    let on_cold = emit("on-cold", "on", "-j1", &[], &[]);
+    let on_warm = emit("on-warm", "on", "-j4", &[], &[]);
+    let off_cold = emit("off-cold", "off", "-j1", &["--no-mmap"], &[]);
+    let off_warm = emit("off-warm", "off", "-j4", &["--no-mmap"], &[]);
     assert_eq!(on_cold, on_warm, "warm report differs from cold (mmap on)");
     assert_eq!(
         off_cold, off_warm,
         "warm report differs from cold (mmap off)"
     );
     assert_eq!(on_cold, off_cold, "--no-mmap changed the report");
+
+    // `CMO_NO_MMAP=1` forces the decline-to-map arm that non-unix
+    // builds always take (`DiskStorage::map` answers `Ok(None)` before
+    // reaching the platform mmap), so unix CI exercises that path
+    // without a cross build. Byte-identity must hold there too, with
+    // mmap nominally *on*.
+    let declined_cold = emit(
+        "declined-cold",
+        "declined",
+        "-j1",
+        &[],
+        &[("CMO_NO_MMAP", "1")],
+    );
+    let declined_warm = emit(
+        "declined-warm",
+        "declined",
+        "-j4",
+        &[],
+        &[("CMO_NO_MMAP", "1")],
+    );
+    assert_eq!(
+        declined_cold, declined_warm,
+        "warm report differs from cold (map declined)"
+    );
+    assert_eq!(on_cold, declined_cold, "CMO_NO_MMAP=1 changed the report");
 
     // --no-mmap is a cache-transport switch; alone it is an error.
     let out = cmocc().arg("--no-mmap").arg(&app).output().unwrap();

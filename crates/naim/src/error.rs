@@ -85,6 +85,10 @@ pub enum NaimError {
         wanted: u64,
         /// Payload bytes actually present in the backend.
         got: u64,
+        /// Which storage tier served the bytes (`"local"`, `"remote"`,
+        /// `"tiered"`), so degraded-mode diagnostics name the tier
+        /// that failed.
+        backend: &'static str,
     },
     /// A stored record's payload failed its CRC integrity check.
     RepoChecksum {
@@ -94,6 +98,9 @@ pub enum NaimError {
         stored: u32,
         /// The CRC computed over the bytes read back.
         computed: u32,
+        /// Which storage tier served the bytes (`"local"`, `"remote"`,
+        /// `"tiered"`).
+        backend: &'static str,
     },
     /// The accounted heap exceeded the hard budget and no NAIM measure
     /// could reclaim enough space (mirrors the paper's 1 GB heap-limit
@@ -142,17 +149,19 @@ impl fmt::Display for NaimError {
                 record,
                 wanted,
                 got,
+                backend,
             } => write!(
                 f,
-                "pool image record {record} truncated: wanted {wanted} bytes, backend holds {got}"
+                "pool image record {record} truncated: wanted {wanted} bytes, {backend} backend holds {got}"
             ),
             NaimError::RepoChecksum {
                 record,
                 stored,
                 computed,
+                backend,
             } => write!(
                 f,
-                "pool image record {record} failed CRC check: stored {stored:#010x}, computed {computed:#010x}"
+                "pool image record {record} failed CRC check on {backend} backend: stored {stored:#010x}, computed {computed:#010x}"
             ),
             NaimError::OutOfMemory { wanted, budget } => write!(
                 f,

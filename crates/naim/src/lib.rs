@@ -68,9 +68,11 @@ mod error;
 mod loader;
 mod mmap;
 mod pid;
+mod remote;
 mod repository;
 mod sharded;
 mod storage;
+mod tiered;
 
 pub use accounting::{MemClass, MemoryAccountant, MemorySnapshot, SharedAccountant};
 pub use arena::Arena;
@@ -82,9 +84,14 @@ pub use loader::{
 };
 pub use mmap::MapView;
 pub use pid::Pid;
+pub use remote::{
+    read_frame_bytes, CacheService, FlakyTransport, Frame, FrameOp, LoopbackTransport, RemoteStats,
+    RemoteStorage, RemoteTransport, RetryPolicy, TcpTransport, WireFault,
+};
 pub use repository::{
     crc32, ContentHash, MemBackend, RepoBackend, RepoHandle, RepoRecovery, RepoStats, Repository,
     REPO_MAGIC, REPO_VERSION,
 };
 pub use sharded::ShardedLoader;
 pub use storage::{DiskStorage, Fault, FaultyStorage, MemStorage, Storage, StorageFile};
+pub use tiered::TieredStorage;

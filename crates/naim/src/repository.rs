@@ -229,6 +229,14 @@ pub trait RepoBackend {
         buf.extend_from_slice(&data);
         Ok(())
     }
+
+    /// Stable label naming the storage tier this backend reads from
+    /// (`"local"`, `"remote"`, `"tiered"`). Carried into
+    /// [`NaimError::RepoTruncated`] / [`NaimError::RepoChecksum`] so
+    /// corruption diagnostics say which tier served the bad bytes.
+    fn backend_label(&self) -> &'static str {
+        "local"
+    }
 }
 
 /// In-memory backend; useful for tests and for measuring offload traffic
@@ -727,6 +735,7 @@ impl<B: RepoBackend> Repository<B> {
                 record: handle.id,
                 wanted: u64::from(meta.len),
                 got: size.saturating_sub(meta.payload_offset),
+                backend: self.backend.backend_label(),
             });
         }
         let data = self
@@ -738,6 +747,7 @@ impl<B: RepoBackend> Repository<B> {
                 record: handle.id,
                 stored: meta.crc,
                 computed,
+                backend: self.backend.backend_label(),
             });
         }
         self.stats.reads += 1;
@@ -767,6 +777,7 @@ impl<B: RepoBackend> Repository<B> {
                 record: handle.id,
                 wanted: u64::from(meta.len),
                 got: size.saturating_sub(meta.payload_offset),
+                backend: self.backend.backend_label(),
             });
         }
         if self
@@ -783,6 +794,7 @@ impl<B: RepoBackend> Repository<B> {
                     record: handle.id,
                     stored: meta.crc,
                     computed,
+                    backend: self.backend.backend_label(),
                 });
             }
             self.stats.reads += 1;
@@ -801,6 +813,7 @@ impl<B: RepoBackend> Repository<B> {
                 record: handle.id,
                 stored: meta.crc,
                 computed,
+                backend: self.backend.backend_label(),
             });
         }
         self.stats.reads += 1;
@@ -1291,10 +1304,14 @@ mod tests {
                 record,
                 wanted,
                 got,
+                backend,
             } => {
                 assert_eq!(record, h2.id());
                 assert_eq!(wanted, 20);
                 assert_eq!(got, 15);
+                // Satellite: diagnostics name the tier that failed.
+                assert_eq!(backend, "local");
+                assert!(msg.contains("local backend"), "{msg}");
                 // Satellite: the message names the pool image record.
                 assert!(msg.contains(&format!("record {record}")), "{msg}");
             }

@@ -27,6 +27,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::mmap::MapView;
+use crate::remote::RemoteStats;
 use crate::repository::RepoBackend;
 
 /// A small named-file store: the I/O boundary for all persistent state.
@@ -118,6 +119,20 @@ pub trait Storage: fmt::Debug + Send + Sync {
     /// Returns any underlying I/O failure, including a missing file.
     fn map(&self, _name: &str) -> io::Result<Option<MapView>> {
         Ok(None)
+    }
+
+    /// Stable label naming this backend's tier in diagnostics:
+    /// `"local"` (the default), `"remote"`, or `"tiered"`. Wrappers
+    /// forward to their inner storage so error context names the tier
+    /// the bytes actually came from.
+    fn tier_label(&self) -> &'static str {
+        "local"
+    }
+
+    /// Remote-tier traffic statistics, when a remote tier is attached
+    /// somewhere in this storage stack. The default reports none.
+    fn remote_stats(&self) -> Option<RemoteStats> {
+        None
     }
 }
 
@@ -219,6 +234,12 @@ impl Storage for DiskStorage {
         if !self.mmap {
             return Ok(None);
         }
+        // `CMO_NO_MMAP=1` forces the decline-to-map arm that non-unix
+        // builds always take, so CI on unix exercises that path too
+        // (the mmap-on/off byte-identity test runs it explicitly).
+        if std::env::var_os("CMO_NO_MMAP").is_some_and(|v| v == "1") {
+            return Ok(None);
+        }
         #[cfg(unix)]
         {
             let file = File::open(self.path(name))?;
@@ -235,7 +256,7 @@ impl Storage for DiskStorage {
 
 /// Recovers a possibly-poisoned mutex guard: a panic while holding the
 /// lock must not cascade into every later storage operation.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -532,7 +553,7 @@ impl FaultyStorage {
     }
 }
 
-fn xorshift(state: &mut u64) -> u64 {
+pub(crate) fn xorshift(state: &mut u64) -> u64 {
     let mut x = *state;
     x ^= x << 13;
     x ^= x >> 7;
@@ -680,6 +701,16 @@ impl Storage for FaultyStorage {
             }
         }
     }
+
+    // Pass-throughs (uncounted, like `exists`): diagnostics must not
+    // shift the op-indexed fault schedule.
+    fn tier_label(&self) -> &'static str {
+        self.inner.tier_label()
+    }
+
+    fn remote_stats(&self) -> Option<RemoteStats> {
+        self.inner.remote_stats()
+    }
 }
 
 /// Adapts one named file of a [`Storage`] to the repository's
@@ -748,6 +779,10 @@ impl RepoBackend for StorageFile {
     fn view(&self, offset: u64, len: usize) -> Option<&[u8]> {
         let start = offset as usize;
         self.view.as_deref()?.get(start..start + len)
+    }
+
+    fn backend_label(&self) -> &'static str {
+        self.storage.tier_label()
     }
 }
 

@@ -1,0 +1,304 @@
+//! Two-tier storage: a local [`Storage`] in front of a
+//! [`RemoteStorage`], composed read-through/write-through.
+//!
+//! The local tier is authoritative for the build: every byte the
+//! repository or cache reads comes from local storage, so the commit
+//! protocol, crash recovery, and fault-injection guarantees of the
+//! local tier are untouched by the remote's existence. The remote tier
+//! only ever does two things:
+//!
+//! * **Read path.** The *first* time a name is touched and the local
+//!   tier does not have it, the tier issues one remote GET. A verified
+//!   hit populates the local file (then the build proceeds exactly as
+//!   if it had been there all along); a miss or any failure leaves the
+//!   build on cold local state. Each name is probed at most once per
+//!   process, so the remote op schedule is deterministic.
+//! * **Write path.** Local writes are local-only. At the durability
+//!   barriers of the commit protocol — [`Storage::sync`] and the
+//!   commit [`Storage::rename`] — the tier pushes the file's full
+//!   contents remote, *after* the local operation succeeded. Scratch
+//!   names (`*.tmp`, `*.gc`) are never pushed: only committed
+//!   generations travel. A failed push is swallowed (the remote tier
+//!   records the failure and may trip its breaker); the build result
+//!   never depends on it.
+//!
+//! An outage therefore cannot fail a build or corrupt the local cache:
+//! the worst case is a build exactly as warm as local state allows,
+//! reported under `faults.remote`.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+use crate::mmap::MapView;
+use crate::remote::{RemoteStats, RemoteStorage};
+use crate::storage::{lock, Storage};
+
+/// Whether a name may travel to the remote tier. Scratch files are
+/// private to the local commit protocol: half-written temps and GC
+/// generations must never be observable by another machine.
+fn shareable(name: &str) -> bool {
+    !name.ends_with(".tmp") && !name.ends_with(".gc")
+}
+
+/// Read-through/write-through composition of a local tier and a
+/// remote tier. See the module docs for the exact data flow.
+#[derive(Debug)]
+pub struct TieredStorage {
+    local: Arc<dyn Storage>,
+    remote: Arc<RemoteStorage>,
+    /// Names whose remote probe already happened (or was made moot by
+    /// a local mutation). At most one GET is ever issued per name.
+    probed: Mutex<BTreeSet<String>>,
+}
+
+impl TieredStorage {
+    /// Composes `local` in front of `remote`.
+    #[must_use]
+    pub fn new(local: Arc<dyn Storage>, remote: Arc<RemoteStorage>) -> Self {
+        TieredStorage {
+            local,
+            remote,
+            probed: Mutex::new(BTreeSet::new()),
+        }
+    }
+
+    /// The remote tier's traffic statistics.
+    #[must_use]
+    pub fn stats(&self) -> RemoteStats {
+        self.remote.stats()
+    }
+
+    /// Marks `name` as settled: no future read will probe the remote
+    /// for it. Every local mutation does this, so a name created (or
+    /// removed) locally can never be shadowed by a stale remote blob.
+    fn settle(&self, name: &str) {
+        lock(&self.probed).insert(name.to_owned());
+    }
+
+    /// Read-through: if `name` is locally absent and never probed,
+    /// issue one remote GET and populate the local tier on a verified
+    /// hit. Misses, failures, and an open breaker all degrade to
+    /// "locally cold" — never to an error.
+    fn ensure_local(&self, name: &str) {
+        if !shareable(name) || self.local.exists(name) {
+            return;
+        }
+        if !lock(&self.probed).insert(name.to_owned()) {
+            return;
+        }
+        if let Ok(bytes) = self.remote.read(name) {
+            // Population failing (disk full mid-populate) must not turn
+            // a cache miss into a build error; drop the partial file so
+            // the local tier stays coherent.
+            if self.local.write(name, &bytes).is_err() {
+                let _ = self.local.remove(name);
+            }
+        }
+    }
+
+    /// Write-through: push the file's current local contents remote.
+    /// Called only at durability barriers; failures are swallowed (the
+    /// remote tier has already counted them).
+    fn push(&self, name: &str) {
+        if !shareable(name) {
+            return;
+        }
+        if let Ok(bytes) = self.local.read(name) {
+            let _ = self.remote.write(name, &bytes);
+        }
+    }
+}
+
+impl Storage for TieredStorage {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.ensure_local(name);
+        self.local.read(name)
+    }
+
+    fn write(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.settle(name);
+        self.local.write(name, data)
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<u64> {
+        // An append extends what is locally visible; fetch any remote
+        // warmth first so the two tiers don't interleave.
+        self.ensure_local(name);
+        self.settle(name);
+        self.local.append(name, data)
+    }
+
+    fn read_at(&self, name: &str, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        self.ensure_local(name);
+        self.local.read_at(name, offset, len)
+    }
+
+    fn size(&self, name: &str) -> io::Result<u64> {
+        self.ensure_local(name);
+        self.local.size(name)
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        self.ensure_local(name);
+        self.settle(name);
+        self.local.truncate(name, len)
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        self.settle(name);
+        self.local.sync(name)?;
+        // The file just became durable locally; share it.
+        self.push(name);
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        self.settle(from);
+        self.settle(to);
+        self.local.rename(from, to)?;
+        // The commit rename publishes a new generation under its final
+        // name (write-temp → fsync → rename); push that generation.
+        self.push(to);
+        Ok(())
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.ensure_local(name);
+        self.local.exists(name)
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.settle(name);
+        self.local.remove(name)
+    }
+
+    fn map(&self, name: &str) -> io::Result<Option<MapView>> {
+        self.ensure_local(name);
+        self.local.map(name)
+    }
+
+    fn tier_label(&self) -> &'static str {
+        "tiered"
+    }
+
+    fn remote_stats(&self) -> Option<RemoteStats> {
+        Some(self.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::remote::{FlakyTransport, LoopbackTransport, RemoteTransport, RetryPolicy};
+    use crate::storage::MemStorage;
+
+    fn remote_over(daemon: &Arc<MemStorage>) -> Arc<RemoteStorage> {
+        let daemon: Arc<dyn Storage> = Arc::clone(daemon) as Arc<dyn Storage>;
+        Arc::new(RemoteStorage::new(
+            Arc::new(LoopbackTransport::over(daemon)),
+            RetryPolicy::default(),
+        ))
+    }
+
+    fn dead_remote() -> Arc<RemoteStorage> {
+        let inner: Arc<dyn RemoteTransport> =
+            Arc::new(LoopbackTransport::over(Arc::new(MemStorage::new())));
+        Arc::new(RemoteStorage::new(
+            Arc::new(FlakyTransport::new(inner).kill_at(0)),
+            RetryPolicy::default(),
+        ))
+    }
+
+    #[test]
+    fn miss_populates_local_from_remote_exactly_once() {
+        let daemon = Arc::new(MemStorage::new());
+        let local = Arc::new(MemStorage::new());
+        // Warm the daemon as a previous machine's push would.
+        let warm = remote_over(&daemon);
+        warm.write("repo.naim", b"warm bytes").unwrap();
+        let tier = TieredStorage::new(Arc::clone(&local) as Arc<dyn Storage>, remote_over(&daemon));
+        assert_eq!(tier.read("repo.naim").unwrap(), b"warm bytes");
+        assert_eq!(local.read("repo.naim").unwrap(), b"warm bytes");
+        // Later reads are pure local: one GET total.
+        assert_eq!(tier.read("repo.naim").unwrap(), b"warm bytes");
+        assert_eq!(tier.stats().gets, 1);
+        assert_eq!(tier.stats().hits, 1);
+        assert_eq!(tier.tier_label(), "tiered");
+    }
+
+    #[test]
+    fn sync_and_commit_rename_push_shareable_names_only() {
+        let daemon = Arc::new(MemStorage::new());
+        let local = Arc::new(MemStorage::new());
+        let tier = TieredStorage::new(Arc::clone(&local) as Arc<dyn Storage>, remote_over(&daemon));
+        // The commit protocol's dance: write temp, sync temp, rename.
+        tier.write("manifest.tsv.tmp", b"v2").unwrap();
+        tier.sync("manifest.tsv.tmp").unwrap();
+        assert_eq!(tier.stats().puts, 0, "temp names must never travel");
+        tier.rename("manifest.tsv.tmp", "manifest.tsv").unwrap();
+        assert_eq!(tier.stats().puts, 1);
+        // A fresh machine sharing the daemon sees the committed file.
+        let other = TieredStorage::new(
+            Arc::new(MemStorage::new()) as Arc<dyn Storage>,
+            remote_over(&daemon),
+        );
+        assert_eq!(other.read("manifest.tsv").unwrap(), b"v2");
+        // GC generations stay private too.
+        tier.write("repo.naim.gc", b"halfway").unwrap();
+        tier.sync("repo.naim.gc").unwrap();
+        assert_eq!(tier.stats().puts, 1);
+    }
+
+    #[test]
+    fn local_mutations_shadow_stale_remote_blobs() {
+        let daemon = Arc::new(MemStorage::new());
+        let warm = remote_over(&daemon);
+        warm.write("f", b"stale remote").unwrap();
+        let tier = TieredStorage::new(
+            Arc::new(MemStorage::new()) as Arc<dyn Storage>,
+            remote_over(&daemon),
+        );
+        tier.write("f", b"fresh local").unwrap();
+        assert_eq!(tier.read("f").unwrap(), b"fresh local");
+        // Removing the local file must not resurrect the remote copy.
+        tier.remove("f").unwrap();
+        assert!(!tier.exists("f"));
+        assert_eq!(tier.stats().gets, 0, "no probe may have happened");
+    }
+
+    #[test]
+    fn dead_remote_degrades_to_local_only_and_never_errors() {
+        let local = Arc::new(MemStorage::new());
+        let tier = TieredStorage::new(Arc::clone(&local) as Arc<dyn Storage>, dead_remote());
+        assert!(!tier.exists("repo.naim"));
+        tier.write("repo.naim", b"built cold").unwrap();
+        tier.sync("repo.naim").unwrap();
+        tier.write("x.tmp", b"j").unwrap();
+        tier.sync("x.tmp").unwrap();
+        tier.rename("x.tmp", "commit.journal").unwrap();
+        assert_eq!(tier.read("repo.naim").unwrap(), b"built cold");
+        assert_eq!(tier.read("commit.journal").unwrap(), b"j");
+        let stats = tier.stats();
+        assert!(stats.failures > 0);
+        assert_eq!(stats.puts, 0);
+        // Enough barriers ran to trip the breaker; the build went on.
+        assert!(stats.breaker_open);
+    }
+
+    #[test]
+    fn failed_population_leaves_no_partial_local_file() {
+        let daemon = Arc::new(MemStorage::new());
+        let warm = remote_over(&daemon);
+        warm.write("f", b"remote bytes").unwrap();
+        // Local tier whose first counted op — the populate write — is
+        // torn: half the remote bytes land, then the write errors.
+        let local = Arc::new(
+            crate::storage::FaultyStorage::new(Arc::new(MemStorage::new()))
+                .with_fault(0, crate::storage::Fault::TornWrite),
+        );
+        let tier = TieredStorage::new(Arc::clone(&local) as Arc<dyn Storage>, remote_over(&daemon));
+        assert!(tier.read("f").is_err(), "local tier is genuinely cold");
+        assert!(!local.exists("f"), "no torn half-populated file may remain");
+    }
+}

@@ -255,6 +255,23 @@ pub enum TraceEvent {
         /// Bytes of the fetch that triggered the event.
         bytes: u64,
     },
+    /// Remote shared-cache tier activity. All delays are expressed on
+    /// the deterministic work-unit clock (never wall time), so traces
+    /// through a remote tier stay byte-identical run to run.
+    Remote {
+        /// What happened: `"hit"` (blob fetched and verified),
+        /// `"miss"` (daemon has no such blob), `"put"` (blob pushed),
+        /// `"retry"` (an exchange failed; backing off and retrying),
+        /// or `"open"` (the circuit breaker tripped and the build
+        /// demoted itself to local-only).
+        action: &'static str,
+        /// Blob name for hit/miss/put; the failing operation's
+        /// description for retry/open.
+        name: String,
+        /// Payload bytes for hit/put; the seeded backoff delay in
+        /// work units for retry; 0 otherwise.
+        bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -275,6 +292,7 @@ impl TraceEvent {
             TraceEvent::JobPanic { .. } => "job-panic",
             TraceEvent::Arena { .. } => "arena",
             TraceEvent::Mmap { .. } => "mmap",
+            TraceEvent::Remote { .. } => "remote",
         }
     }
 
@@ -411,6 +429,15 @@ impl TraceEvent {
             }
             TraceEvent::Arena { action, bytes } | TraceEvent::Mmap { action, bytes } => {
                 let _ = write!(out, "\"action\":\"{action}\",\"bytes\":{bytes}");
+            }
+            TraceEvent::Remote {
+                action,
+                name,
+                bytes,
+            } => {
+                let _ = write!(out, "\"action\":\"{action}\",\"name\":\"");
+                escape_into(name, out);
+                let _ = write!(out, "\",\"bytes\":{bytes}");
             }
         }
     }
@@ -897,6 +924,34 @@ mod tests {
         assert!(ev.contains("\"scope\":\"module\""), "{ev}");
         assert!(ev.contains("\"name\":\"alpha\\\"x\""), "{ev}");
         assert!(ev.contains("\"bytes\":512"), "{ev}");
+    }
+
+    #[test]
+    fn remote_events_serialize_all_fields() {
+        let t = Telemetry::enabled();
+        t.emit(TraceEvent::Remote {
+            action: "hit",
+            name: "repo.naim".into(),
+            bytes: 2048,
+        });
+        t.emit(TraceEvent::Remote {
+            action: "retry",
+            name: "get repo.naim".into(),
+            bytes: 12,
+        });
+        let trace = t.render_trace();
+        assert!(
+            trace.contains(r#""event":"remote","action":"hit","name":"repo.naim","bytes":2048"#),
+            "trace: {trace}"
+        );
+        assert!(
+            trace
+                .contains(r#""event":"remote","action":"retry","name":"get repo.naim","bytes":12"#),
+            "trace: {trace}"
+        );
+        // The remote tier's backoff is on the work clock, never wall time.
+        assert!(!trace.contains("wall"), "{trace}");
+        assert!(!trace.contains("nanos"), "{trace}");
     }
 
     #[test]

@@ -19,7 +19,8 @@ cmocc="$(cd "$(dirname "$cmocc")" && pwd)/$(basename "$cmocc")"
 [[ -x "$cmocc" ]] || { echo "check_docs: $cmocc is not executable" >&2; exit 1; }
 
 work="$(mktemp -d)"
-trap 'rm -rf "$work"' EXIT
+daemon_pid=""
+trap '[[ -n "$daemon_pid" ]] && kill "$daemon_pid" 2>/dev/null; rm -rf "$work"' EXIT
 cp "$repo_root"/examples/mlc/*.mlc "$work/"
 cd "$work"
 
@@ -62,6 +63,29 @@ after=$(wc -c < .cmo-cache/repo.naim)
     || { echo "check_docs: --gc-cache did not shrink repo.naim ($before -> $after)" >&2; exit 1; }
 run +O4 --cache-dir .cmo-cache --report-json gc-warm.json lib.mlc app.mlc
 cmp cold.json gc-warm.json || { echo "check_docs: post-gc warm report differs from cold" >&2; exit 1; }
+
+# --- Declined mmap (CMO_NO_MMAP=1) must not change the report ---
+step=$((step + 1))
+echo "check_docs [$step]: CMO_NO_MMAP=1 cmocc +O4 --cache-dir .cmo-cache-nomap --report-json nomap.json lib.mlc app.mlc"
+env CMO_NO_MMAP=1 "$cmocc" +O4 --cache-dir .cmo-cache-nomap --report-json nomap.json lib.mlc app.mlc
+cmp cold.json nomap.json || { echo "check_docs: CMO_NO_MMAP=1 changed the report" >&2; exit 1; }
+
+# --- Shared remote cache: cold through the daemon, dead-daemon build
+# --- degrades but succeeds, fresh machine replays warm from the daemon
+cmocached="$(dirname "$cmocc")/cmocached"
+[[ -x "$cmocached" ]] || { echo "check_docs: $cmocached is not executable (built alongside cmocc)" >&2; exit 1; }
+"$cmocached" --store daemon-store --listen 127.0.0.1:0 > daemon.out &
+daemon_pid=$!
+for _ in $(seq 50); do grep -q 'listening on' daemon.out 2>/dev/null && break; sleep 0.1; done
+addr="$(sed -n 's/^listening on //p' daemon.out)"
+[[ -n "$addr" ]] || { echo "check_docs: cmocached never reported its address" >&2; exit 1; }
+run +O4 --cache-dir .cmo-cache-r1 --remote-cache "$addr" --report-json rc-cold.json lib.mlc app.mlc
+run +O4 --cache-dir .cmo-cache-r2 --remote-cache "$addr" --report-json rc-warm.json lib.mlc app.mlc
+cmp rc-cold.json rc-warm.json || { echo "check_docs: remote-warm report differs from cold" >&2; exit 1; }
+kill "$daemon_pid"; wait "$daemon_pid" 2>/dev/null || true; daemon_pid=""
+run +O4 --cache-dir .cmo-cache-r3 --remote-cache "$addr" --remote-timeout-ms 200 --remote-retries 1 --report-json rc-dead.json lib.mlc app.mlc
+grep -q '"breaker_open": true' rc-dead.json \
+    || { echo "check_docs: dead-daemon build did not record the demotion" >&2; exit 1; }
 
 # --- --no-cache conflicts with --cache-dir (usage error, exit 2) ---
 set +e

@@ -12,16 +12,21 @@
 //!
 //! Scenarios measured (all byte-identical outputs, asserted):
 //!
-//! * `cold`   — empty cache, everything compiles and is stored;
-//! * `warm`   — nothing changed, whole build replays from the cache;
-//! * `dirty1` — one module edited, front end re-runs for it alone.
+//! * `cold`    — empty cache, everything compiles and is stored;
+//! * `warm`    — nothing changed, whole build replays from the cache;
+//! * `dirty1`  — one module edited, front end re-runs for it alone;
+//! * `recover` — torn repository rolled back on open, then rebuilt;
+//! * `retrain` — sources unchanged, profile database retrained: with
+//!   module-granular profile slices only the modules whose observable
+//!   slice moved recompile, the rest are retained hits.
 //!
 //! Run with `cargo run --release -p cmo-bench --bin fig7_incremental`.
 //! Flags: `--smoke` (quarter-scale app), `--json-out <path>` (write a
 //! `cmo.bench.v1` snapshot for `bench-diff`).
 
-use cmo::{BuildCache, BuildOptions, Compiler, OptLevel, Telemetry};
+use cmo::{BuildCache, BuildOptions, Compiler, OptLevel, ProfileDb, SliceGranularity, Telemetry};
 use cmo_bench::{bench_args, write_csv, BenchReport, BenchRow};
+use cmo_profile::ProbeKey;
 use cmo_synth::{generate, mcad_preset};
 use std::time::Instant;
 
@@ -120,6 +125,122 @@ fn main() {
         std::fs::write(&repo, &bytes).expect("tear repo");
     }
     build("recover", &dirty);
+
+    // Retrain: the sources are untouched but the profile database is
+    // not — the situation §6.2's feedback flow hits on every fresh
+    // training run. Profile slices key each front-end object on the
+    // (source, observable-slice) fingerprint pair, so only the modules
+    // whose slice the retrain moved recompile; everything else is a
+    // retained hit, and the image still matches a cold build under the
+    // new database byte for byte.
+    {
+        let retrain_dir =
+            std::env::temp_dir().join(format!("cmo-fig7-retrain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&retrain_dir);
+        let mut cc = Compiler::new();
+        for (module, source) in &app.modules {
+            cc.add_source(module, source).expect("front end");
+        }
+        let train = cc
+            .build(&BuildOptions::instrumented())
+            .expect("train build");
+        let db1 = train.run_for_profile(&app.ref_input).expect("training run");
+        // The retrained database: one routine's hot block moves, as a
+        // shifted workload would move it.
+        let (name, shape) = db1
+            .iter()
+            .next()
+            .map(|(name, routine)| (name.to_owned(), routine.shape))
+            .expect("training run populated the database");
+        let mut db2 = db1.clone();
+        db2.record(
+            &[(ProbeKey::block(&name, 0), 50_000)],
+            &[(name.clone(), shape)],
+        );
+        // The synthetic app's hot call edges couple every module into
+        // one cluster, so cluster-granular slices all observe the
+        // perturbed routine; module granularity keeps the blast radius
+        // to the modules that can actually see it.
+        let profiled = |db: &ProfileDb| {
+            BuildOptions::new(OptLevel::O4)
+                .with_profile_db(db.clone())
+                .with_slice_granularity(SliceGranularity::Module)
+        };
+
+        // Cold profiled build: seeds the composed entries and the
+        // scope sidecars the warm build plans from.
+        let c0 = Instant::now();
+        {
+            let mut cache = BuildCache::open(&retrain_dir).expect("open cache");
+            let mut cold = Compiler::new();
+            cold.add_sources_cached_with(&app.modules, &profiled(&db1), &mut cache)
+                .expect("cold front end");
+            cold.build_cached(&profiled(&db1), &mut cache)
+                .expect("cold build");
+        }
+        let cold_ms = c0.elapsed().as_secs_f64() * 1e3;
+
+        // The measured scenario: same sources, retrained database.
+        let t0 = Instant::now();
+        let mut cache = BuildCache::open(&retrain_dir).expect("open cache");
+        let mut warm = Compiler::new();
+        let hits = warm
+            .add_sources_cached_with(&app.modules, &profiled(&db2), &mut cache)
+            .expect("warm front end");
+        let out = warm
+            .build_cached(&profiled(&db2), &mut cache)
+            .expect("warm build");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // The cache must change neither the image nor the behaviour.
+        let fresh = cc.build(&profiled(&db2)).expect("fresh build");
+        assert_eq!(
+            out.image.code, fresh.image.code,
+            "retrain-warm image must match a cold build of the same database"
+        );
+        let run = out.run(&app.ref_input).expect("run");
+        let (_, base_checksum) = baseline.expect("cold ran first");
+        assert_eq!(run.checksum, base_checksum, "retrain changed behaviour");
+
+        let retained = out.report.cache.profile_retained_hits;
+        let replayed = out.report.cache.build_hits > 0;
+        let speedup = cold_ms / ms;
+        println!(
+            "{:>8} {:>10} {:>8} {:>10.1} {:>12} {:>9.2}",
+            "retrain",
+            hits,
+            if replayed { "yes" } else { "no" },
+            ms,
+            out.report.compile_work,
+            speedup
+        );
+        println!(
+            "         profile slices: {} planned, {} stale, {} retained hits",
+            out.report.cache.profile_slices, out.report.cache.profile_stale_slices, retained
+        );
+        rows.push(format!(
+            "retrain,{},{},{:.2},{},{:.3}",
+            hits,
+            u8::from(replayed),
+            ms,
+            out.report.compile_work,
+            speedup
+        ));
+        let unified = out.compile_report();
+        let mut row = BenchRow::new("retrain");
+        row.int("frontend_hits", hits as u64)
+            .int("build_replayed", u64::from(replayed))
+            .int("compile_work", out.report.compile_work)
+            .int("work_units", out.report.loader.work_units)
+            .int("fetch_work_units", out.report.loader.fetch_work_units)
+            .int("peak_bytes", unified.peak_bytes() as u64)
+            .int("profile_slices", out.report.cache.profile_slices)
+            .int("retained_hits", retained)
+            .float("wall_ms", ms)
+            .float("speedup_vs_cold", speedup);
+        json_rows.push(row);
+        let _ = std::fs::remove_dir_all(&retrain_dir);
+    }
 
     write_csv(
         "fig7_incremental.csv",

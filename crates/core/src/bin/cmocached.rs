@@ -1,32 +1,116 @@
 //! `cmocached` — the shared-cache daemon behind `cmocc --remote-cache`.
 //!
 //! ```text
-//! usage: cmocached --store <dir> [--listen <addr>]
+//! usage: cmocached --store <dir> [--listen <addr>] [--stats]
 //!
 //!   --store <dir>    directory holding the daemon's blob store
 //!   --listen <addr>  TCP address to bind (default 127.0.0.1:0; the
 //!                    bound address is printed to stdout as
 //!                    `listening on <addr>`)
+//!   --stats          print one service-counter line to stderr when
+//!                    the daemon exits on SIGINT/SIGTERM: blobs and
+//!                    bytes currently stored, gets/hits/puts since
+//!                    start (clients can ask the same counters live
+//!                    with a `stats` frame)
 //! ```
 //!
 //! The daemon answers the `CMOR` frame protocol over plain TCP: one
-//! GET/PUT/DEL request frame per exchange, each reply carrying a CRC
-//! and (for non-empty bodies) the content hash the client re-verifies.
-//! Blobs are stored content-addressed in the `--store` directory with a
-//! persistent name index, so a restarted daemon keeps its warmth and
-//! concurrent PUTs of identical content deduplicate. Malformed frames
-//! are answered with an `Err` frame or a dropped connection — the
-//! client's retry logic owns the recovery; the daemon never panics on
-//! wire input.
+//! GET/PUT/DEL/STATS request frame per exchange, each reply carrying a
+//! CRC and (for non-empty bodies) the content hash the client
+//! re-verifies. Blobs are stored content-addressed in the `--store`
+//! directory with a persistent name index, so a restarted daemon keeps
+//! its warmth and concurrent PUTs of identical content deduplicate; a
+//! rebinding PUT or a DEL reclaims the blob it orphans. Malformed
+//! frames are answered with an `Err` frame or a dropped connection —
+//! the client's retry logic owns the recovery; the daemon never panics
+//! on wire input.
 
-use cmo_naim::{read_frame_bytes, CacheService, DiskStorage};
+use cmo_naim::{read_frame_bytes, CacheService, DiskStorage, ServiceStats};
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
 fn usage() -> String {
-    "usage: cmocached --store <dir> [--listen <addr>]".to_owned()
+    "usage: cmocached --store <dir> [--listen <addr>] [--stats]".to_owned()
+}
+
+/// The service the signal handler reports on: one leaked reference,
+/// stored before the handlers are installed, never freed (the daemon
+/// runs for the process lifetime).
+static SERVICE: AtomicPtr<CacheService> = AtomicPtr::new(std::ptr::null_mut());
+
+// Raw libc entry points: a signal handler may only use async-signal-
+// safe operations, which rules out stdio, locks, and allocation. The
+// handler below reads atomic counters, formats into a stack buffer,
+// writes once to stderr, and exits.
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn _exit(code: i32) -> !;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+fn push_bytes(buf: &mut [u8], n: &mut usize, s: &[u8]) {
+    for &b in s {
+        if *n < buf.len() {
+            buf[*n] = b;
+            *n += 1;
+        }
+    }
+}
+
+fn push_u64(buf: &mut [u8], n: &mut usize, mut v: u64) {
+    let mut digits = [0u8; 20];
+    let mut d = 0;
+    loop {
+        digits[d] = b'0' + (v % 10) as u8;
+        v /= 10;
+        d += 1;
+        if v == 0 {
+            break;
+        }
+    }
+    while d > 0 {
+        d -= 1;
+        push_bytes(buf, n, &[digits[d]]);
+    }
+}
+
+/// Formats and writes the `--stats` line with async-signal-safe
+/// operations only: stack buffer, hand-rolled integer formatting, one
+/// `write(2)` to stderr.
+fn write_stats_line(stats: &ServiceStats) {
+    let mut buf = [0u8; 160];
+    let mut n = 0;
+    push_bytes(&mut buf, &mut n, b"cmocached: ");
+    push_u64(&mut buf, &mut n, stats.blobs);
+    push_bytes(&mut buf, &mut n, b" blobs, ");
+    push_u64(&mut buf, &mut n, stats.bytes);
+    push_bytes(&mut buf, &mut n, b" bytes, ");
+    push_u64(&mut buf, &mut n, stats.gets);
+    push_bytes(&mut buf, &mut n, b" gets, ");
+    push_u64(&mut buf, &mut n, stats.hits);
+    push_bytes(&mut buf, &mut n, b" hits, ");
+    push_u64(&mut buf, &mut n, stats.puts);
+    push_bytes(&mut buf, &mut n, b" puts\n");
+    unsafe {
+        let _ = write(2, buf.as_ptr(), n);
+    }
+}
+
+extern "C" fn on_exit_signal(_sig: i32) {
+    let service = SERVICE.load(Ordering::SeqCst);
+    if !service.is_null() {
+        // SAFETY: the pointer was leaked from an Arc at startup and is
+        // never freed; `CacheService::stats` reads only atomics.
+        let stats = unsafe { &*service }.stats();
+        write_stats_line(&stats);
+    }
+    unsafe { _exit(0) }
 }
 
 /// Serves one client connection. A connection carries any number of
@@ -57,9 +141,11 @@ fn serve_connection(service: &CacheService, mut stream: TcpStream) {
 fn run(args: &[String]) -> Result<(), String> {
     let mut store: Option<String> = None;
     let mut listen = "127.0.0.1:0".to_owned();
+    let mut stats = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--stats" => stats = true,
             "--store" => {
                 store = Some(
                     it.next()
@@ -81,6 +167,18 @@ fn run(args: &[String]) -> Result<(), String> {
     let storage =
         DiskStorage::new(&store).map_err(|e| format!("cannot open store at {store}: {e}"))?;
     let service = Arc::new(CacheService::new(Arc::new(storage)));
+    if stats {
+        // Leak one reference for the handler, then install it: the
+        // store happens-before `signal`, so the handler never sees a
+        // torn pointer.
+        let leaked = Arc::into_raw(Arc::clone(&service)).cast_mut();
+        SERVICE.store(leaked, Ordering::SeqCst);
+        let handler = on_exit_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
     let listener =
         TcpListener::bind(listen.as_str()).map_err(|e| format!("cannot bind {listen}: {e}"))?;
     let addr = listener

@@ -52,6 +52,14 @@
 //!                      extra attempts per failed remote operation,
 //!                      backed off on a deterministic seeded schedule
 //!                      (default 2; requires --remote-cache)
+//!   --profile-slice-granularity <module|cluster|whole>
+//!                      how +P profile data projects onto cache keys:
+//!                      each module's entry composes the fingerprint
+//!                      of the profile slice its routines (and, at
+//!                      `cluster`, its hot cross-module partners) can
+//!                      observe, so a retrain invalidates only the
+//!                      modules whose counts moved (default cluster;
+//!                      requires +P and --cache-dir)
 //!   --keep-going       degraded mode: a failing module becomes a
 //!                      diagnostic, the remaining modules still build
 //!                      (and cache); the image links only if all
@@ -77,8 +85,8 @@
 
 use cmo::{
     build_objects_cached, BuildCache, BuildError, BuildOptions, CompileReport, DiskStorage,
-    FaultStats, NaimConfig, OptLevel, ProfileDb, RemoteStorage, RetryPolicy, Storage, TcpTransport,
-    Telemetry, TieredStorage, TraceEvent,
+    FaultStats, ModuleScope, NaimConfig, OptLevel, ProfileDb, RemoteStorage, RetryPolicy,
+    SliceGranularity, SlicePlan, Storage, TcpTransport, Telemetry, TieredStorage, TraceEvent,
 };
 use cmo_ir::IlObject;
 use std::path::{Path, PathBuf};
@@ -109,6 +117,7 @@ struct Cli {
     remote_cache: Option<String>,
     remote_timeout_ms: Option<u64>,
     remote_retries: Option<u32>,
+    slice_granularity: Option<SliceGranularity>,
     keep_going: bool,
     isolate: bool,
 }
@@ -132,7 +141,8 @@ fn usage() -> String {
      [-j <N>] [--shards <N>] [--run <v1,v2,..>] [--profile-out <f>] [--emit-asm] [--report] \
      [--report-json <f>] [--trace <f>] [--cache-dir <dir>] [--no-cache] [--no-mmap] \
      [--gc-cache] [--gc-threshold-bytes <N>] [--remote-cache <addr>] [--remote-timeout-ms <N>] \
-     [--remote-retries <N>] [--keep-going] [--isolate] <files...>"
+     [--remote-retries <N>] [--profile-slice-granularity <module|cluster|whole>] [--keep-going] \
+     [--isolate] <files...>"
         .to_owned()
 }
 
@@ -193,6 +203,13 @@ fn validate(cli: &Cli) -> Result<(), String> {
     if cli.remote_retries.is_some() && cli.remote_cache.is_none() {
         return Err(
             "--remote-retries requires --remote-cache (it bounds that daemon's operations)"
+                .to_owned(),
+        );
+    }
+    if cli.slice_granularity.is_some() && (cli.profile.is_none() || cli.cache_dir.is_none()) {
+        return Err(
+            "--profile-slice-granularity requires +P and --cache-dir (it projects that profile \
+             onto that cache's keys)"
                 .to_owned(),
         );
     }
@@ -262,6 +279,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         remote_cache: None,
         remote_timeout_ms: None,
         remote_retries: None,
+        slice_granularity: None,
         keep_going: false,
         isolate: false,
     };
@@ -360,6 +378,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                         .parse()
                         .map_err(|e| format!("bad --remote-retries value: {e}"))?,
                 );
+            }
+            "--profile-slice-granularity" => {
+                cli.slice_granularity = Some(SliceGranularity::parse(&next("a granularity")?)?);
             }
             "--keep-going" => cli.keep_going = true,
             "--isolate" => cli.isolate = true,
@@ -543,6 +564,70 @@ fn read_one(path: &Path) -> Result<LoadedInput, String> {
     })
 }
 
+/// The slice plan for one cached profiled build: the computed
+/// [`SlicePlan`] plus the mapping from input position to plan
+/// position (degraded inputs own no slice).
+struct InputSlices {
+    plan: SlicePlan,
+    slot_of: Vec<Option<usize>>,
+}
+
+impl InputSlices {
+    /// The composed `(source fingerprint, slice fingerprint)` cache
+    /// key for the input at position `i`.
+    fn key_for(&self, i: usize, fp: &str) -> String {
+        let slot = self.slot_of[i].expect("planned inputs own a slice");
+        self.plan.composed_fp(slot, fp)
+    }
+}
+
+/// Emits one `profile_slice` trace event per planned slice (in input
+/// order, on the main thread) and folds the slice counters into the
+/// cache stats — the CLI mirror of the driver's slice bookkeeping.
+fn emit_slices(plan: &SlicePlan, bcache: &mut BuildCache, tel: &Telemetry) {
+    for slice in &plan.slices {
+        bcache.record_profile_slice(slice.stale);
+        tel.emit(TraceEvent::ProfileSlice {
+            module: slice.module.clone(),
+            routines: slice.routines,
+            stale: slice.stale,
+            fp: slice.fp.clone(),
+        });
+    }
+}
+
+/// Plans profile slices from scope sidecars *before* any module-tier
+/// probe. Pre-compiled object inputs derive their scope directly;
+/// source inputs read the sidecar stored under their source
+/// fingerprint alone. Returns `None` without a profile database, or
+/// when any surviving source is missing its sidecar — the
+/// all-or-nothing rule: the caller then compiles everything, replans
+/// from the fresh objects, and seeds the sidecars, so composed keys
+/// planned either way always agree.
+fn plan_from_sidecars(
+    inputs: &[Option<LoadedInput>],
+    fps: &[String],
+    options: &BuildOptions,
+    bcache: &mut BuildCache,
+    tel: &Telemetry,
+) -> Option<InputSlices> {
+    let db = options.profile.as_ref()?;
+    let mut scopes = Vec::new();
+    let mut slot_of = vec![None; inputs.len()];
+    for (i, input) in inputs.iter().enumerate() {
+        let scope = match input {
+            Some(LoadedInput::Object(obj)) => ModuleScope::of_object(obj),
+            Some(LoadedInput::Source { .. }) => bcache.get_scope(&fps[i])?,
+            None => continue, // degraded at the read stage
+        };
+        slot_of[i] = Some(scopes.len());
+        scopes.push(scope);
+    }
+    let plan = SlicePlan::compute(&scopes, db, options.slice_granularity, &options.inline);
+    emit_slices(&plan, bcache, tel);
+    Some(InputSlices { plan, slot_of })
+}
+
 /// [`load_objects`] with the incremental cache in the loop: inputs are
 /// read and classified over the worker pool, then probed against the
 /// cache *on the main thread in input order* (so cache trace events
@@ -550,8 +635,15 @@ fn read_one(path: &Path) -> Result<LoadedInput, String> {
 /// over the worker pool. Returns the objects plus their per-module
 /// fingerprints for the whole-build key (failed modules under
 /// `--keep-going` contribute neither).
+///
+/// With `+P` the module tier keys on composed
+/// `(source, profile-slice)` fingerprints via [`plan_from_sidecars`];
+/// a hit under a composed key is a retained hit. A bootstrap run (any
+/// sidecar missing) probes nothing and seeds scopes and composed
+/// entries for the next build.
 fn load_objects_cached(
     cli: &Cli,
+    options: &BuildOptions,
     bcache: &mut BuildCache,
     tel: &Telemetry,
     faults: &mut FaultStats,
@@ -576,21 +668,41 @@ fn load_objects_cached(
     })?;
     inputs.resize_with(cli.inputs.len(), || None);
     let mut fps = vec![String::new(); inputs.len()];
-    let mut slots: Vec<Option<IlObject>> = (0..inputs.len()).map(|_| None).collect();
-    let mut misses: Vec<usize> = Vec::new();
     for (i, input) in inputs.iter().enumerate() {
         match input {
             Some(LoadedInput::Object(obj)) => {
                 fps[i] = cmo::object_fingerprint(&obj.module_name, &obj.to_bytes());
-                slots[i] = Some(obj.clone());
             }
             Some(LoadedInput::Source { module, source }) => {
-                let fp = cmo::module_fingerprint(module, source);
-                match bcache.get_module(module, &fp, tel) {
-                    Some(obj) => slots[i] = Some(obj),
+                fps[i] = cmo::module_fingerprint(module, source);
+            }
+            None => {} // already degraded at the read stage
+        }
+    }
+    let plan = plan_from_sidecars(&inputs, &fps, options, bcache, tel);
+    let bootstrap = options.profile.is_some() && plan.is_none();
+    let mut slots: Vec<Option<IlObject>> = (0..inputs.len()).map(|_| None).collect();
+    let mut misses: Vec<usize> = Vec::new();
+    for (i, input) in inputs.iter().enumerate() {
+        match input {
+            Some(LoadedInput::Object(obj)) => slots[i] = Some(obj.clone()),
+            Some(LoadedInput::Source { module, .. }) => {
+                // A profiled bootstrap probes nothing: composed keys
+                // are unknown until every module's scope exists.
+                let probed = match &plan {
+                    Some(slices) => bcache.get_module(module, &slices.key_for(i, &fps[i]), tel),
+                    None if bootstrap => None,
+                    None => bcache.get_module(module, &fps[i], tel),
+                };
+                match probed {
+                    Some(obj) => {
+                        if plan.is_some() {
+                            bcache.record_retained_hit();
+                        }
+                        slots[i] = Some(obj);
+                    }
                     None => misses.push(i),
                 }
-                fps[i] = fp;
             }
             None => {} // already degraded at the read stage
         }
@@ -619,9 +731,41 @@ fn load_objects_cached(
         let Some(LoadedInput::Source { module, .. }) = &inputs[i] else {
             unreachable!("only source inputs can miss the cache");
         };
-        bcache.put_module(module, &fps[i], &obj, tel);
+        match &plan {
+            Some(slices) => bcache.put_module(module, &slices.key_for(i, &fps[i]), &obj, tel),
+            None if bootstrap => {} // stored below, once the plan exists
+            None => bcache.put_module(module, &fps[i], &obj, tel),
+        }
         slots[i] = Some(obj);
     })?;
+    if bootstrap {
+        // Every scope now exists (degraded modules excepted): replan
+        // from the objects in hand and seed the sidecars plus the
+        // composed entries for the sources that compiled.
+        let db = options
+            .profile
+            .as_ref()
+            .expect("bootstrap implies a profile");
+        let mut scopes = Vec::new();
+        let mut slot_of = vec![None; inputs.len()];
+        for (i, slot) in slots.iter().enumerate() {
+            if let Some(obj) = slot {
+                slot_of[i] = Some(scopes.len());
+                scopes.push(ModuleScope::of_object(obj));
+            }
+        }
+        let plan = SlicePlan::compute(&scopes, db, options.slice_granularity, &options.inline);
+        emit_slices(&plan, bcache, tel);
+        let seeded = InputSlices { plan, slot_of };
+        for (i, slot) in slots.iter().enumerate() {
+            let (Some(LoadedInput::Source { module, .. }), Some(obj)) = (&inputs[i], slot) else {
+                continue; // objects need no entry, degraded modules have none
+            };
+            let slot = seeded.slot_of[i].expect("surviving modules own a slice");
+            bcache.put_scope(&fps[i], &scopes[slot]);
+            bcache.put_module(module, &seeded.key_for(i, &fps[i]), obj, tel);
+        }
+    }
     let mut objects = Vec::with_capacity(slots.len());
     let mut kept_fps = Vec::with_capacity(slots.len());
     for (i, slot) in slots.into_iter().enumerate() {
@@ -751,11 +895,36 @@ fn run_cli(cli: &Cli) -> Result<u8, Failure> {
             return Ok(success_code(bcache.as_ref()));
         }
     }
+    let mut options = BuildOptions::new(cli.level).with_jobs(cli.jobs);
+    options.telemetry = tel.clone();
+    if let Some(bytes) = cli.gc_threshold_bytes {
+        options = options.with_gc_threshold_bytes(bytes);
+    }
+    options.instrument = cli.instrument;
+    if let Some(path) = &cli.profile {
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let db = ProfileDb::from_bytes(&bytes)
+            .map_err(|e| format!("{}: corrupt profile database: {e}", path.display()))?;
+        options = options.with_profile_db(db);
+    }
+    if let Some(granularity) = cli.slice_granularity {
+        options = options.with_slice_granularity(granularity);
+    }
+    if let Some(sel) = cli.selectivity {
+        options = options.with_selectivity(sel);
+    }
+    if let Some(bytes) = cli.budget_bytes {
+        options = options.with_naim(NaimConfig::with_budget(bytes));
+    }
+    if let Some(shards) = cli.shards {
+        options.naim = options.naim.clone().shards(shards);
+    }
     let mut faults = FaultStats::default();
     let (objects, fingerprints) = {
         let _parse = tel.phase("parse");
         match bcache.as_mut() {
-            Some(cache) => load_objects_cached(cli, cache, &tel, &mut faults)?,
+            Some(cache) => load_objects_cached(cli, &options, cache, &tel, &mut faults)?,
             None => (load_objects(cli, &tel, &mut faults)?, Vec::new()),
         }
     };
@@ -778,29 +947,6 @@ fn run_cli(cli: &Cli) -> Result<u8, Failure> {
         }
         return Ok(success_code(bcache.as_ref()));
     }
-    let mut options = BuildOptions::new(cli.level).with_jobs(cli.jobs);
-    options.telemetry = tel.clone();
-    if let Some(bytes) = cli.gc_threshold_bytes {
-        options = options.with_gc_threshold_bytes(bytes);
-    }
-    options.instrument = cli.instrument;
-    if let Some(path) = &cli.profile {
-        let bytes =
-            std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let db = ProfileDb::from_bytes(&bytes)
-            .map_err(|e| format!("{}: corrupt profile database: {e}", path.display()))?;
-        options = options.with_profile_db(db);
-    }
-    if let Some(sel) = cli.selectivity {
-        options = options.with_selectivity(sel);
-    }
-    if let Some(bytes) = cli.budget_bytes {
-        options = options.with_naim(NaimConfig::with_budget(bytes));
-    }
-    if let Some(shards) = cli.shards {
-        options.naim = options.naim.clone().shards(shards);
-    }
-
     let isolate_objects = cli.isolate.then(|| objects.clone());
     let out = build_objects_cached(objects, &fingerprints, &options, bcache.as_mut()).map_err(
         |e| match e {
@@ -844,6 +990,14 @@ fn run_cli(cli: &Cli) -> Result<u8, Failure> {
                 r.cache.invalidations,
                 if r.cache.build_hits > 0 { "yes" } else { "no" }
             );
+            if r.cache.profile_slices > 0 {
+                println!(
+                    "  profile slices: {} planned, {} stale, {} retained hits",
+                    r.cache.profile_slices,
+                    r.cache.profile_stale_slices,
+                    r.cache.profile_retained_hits
+                );
+            }
         }
         if r.faults.remote.enabled {
             let rem = &r.faults.remote;

@@ -61,6 +61,7 @@ use cmo_vm::MachineImage;
 
 use crate::driver::{BuildOptions, OptLevel};
 use crate::report::CompileReport;
+use crate::slices::{ModuleScope, SlicePlan};
 
 /// Cache format epoch. Bumped whenever fingerprint inputs, the entry
 /// encoding, or the manifest layout change, so stale caches from
@@ -68,7 +69,10 @@ use crate::report::CompileReport;
 /// (4: the report codec gained the `cache.gc` counters.)
 /// (5: the report codec gained the `hlo.clusters` partition counters.)
 /// (6: the report codec gained the `faults.remote` tier counters.)
-pub const CACHE_FORMAT: u32 = 6;
+/// (7: profile-slice keys — module entries compose per-module profile
+/// slice fingerprints, the build tier keys on the slice vector plus a
+/// residual slice, and scope sidecars joined the entry encoding.)
+pub const CACHE_FORMAT: u32 = 7;
 
 /// First line of `manifest.tsv`.
 const MANIFEST_SCHEMA: &str = "cmo.cache.v1";
@@ -120,6 +124,37 @@ pub struct CacheStats {
     pub gc_live_records: u64,
     /// Dangling manifest lines pruned across those compactions.
     pub gc_pruned_lines: u64,
+    /// Profile slices planned for this build (one per module when a
+    /// profile database is attached; zero otherwise).
+    pub profile_slices: u64,
+    /// Slices containing at least one routine whose recorded shape no
+    /// longer matches the current code ([`Freshness::Stale`] §6.2).
+    /// Diagnostic: stale slices still key deterministically.
+    ///
+    /// [`Freshness::Stale`]: cmo_profile::Freshness::Stale
+    pub profile_stale_slices: u64,
+    /// Module-tier warm hits served under a *composed* (source +
+    /// profile-slice) key — the modules whose observable counts did
+    /// not move across a retrain.
+    pub profile_retained_hits: u64,
+}
+
+impl CacheStats {
+    /// Records one planned profile slice (and whether it was stale).
+    /// Deliberately does *not* feed `invalidations`: a stale slice is
+    /// a diagnostic, not a failed fetch, and must not flip `cmocc`'s
+    /// cache-health exit code.
+    pub fn record_profile_slice(&mut self, stale: bool) {
+        self.profile_slices += 1;
+        if stale {
+            self.profile_stale_slices += 1;
+        }
+    }
+
+    /// Records one module-tier hit under a composed profile-slice key.
+    pub fn record_retained_hit(&mut self) {
+        self.profile_retained_hits += 1;
+    }
 }
 
 /// Outcome of one [`BuildCache::gc`] compaction.
@@ -147,11 +182,16 @@ pub enum CacheEntry {
     /// The unified compile report stored next to an image (boxed: the
     /// report struct dwarfs the other variants).
     Report(Box<CompileReport>),
+    /// A module's profile-slice scope sidecar, keyed on the *source*
+    /// fingerprint alone (the scope is profile-independent structure),
+    /// so warm builds can plan slices before probing for objects.
+    Scope(ModuleScope),
 }
 
 const TAG_OBJECT: u8 = 1;
 const TAG_IMAGE: u8 = 2;
 const TAG_REPORT: u8 = 3;
+const TAG_SCOPE: u8 = 4;
 
 impl Relocatable for CacheEntry {
     fn compact(&self, enc: &mut Encoder) {
@@ -168,6 +208,10 @@ impl Relocatable for CacheEntry {
                 enc.write_u8(TAG_REPORT);
                 report.encode(enc);
             }
+            CacheEntry::Scope(scope) => {
+                enc.write_u8(TAG_SCOPE);
+                scope.encode(enc);
+            }
         }
     }
 
@@ -183,6 +227,7 @@ impl Relocatable for CacheEntry {
             }
             TAG_IMAGE => Ok(CacheEntry::Image(MachineImage::decode(dec)?)),
             TAG_REPORT => Ok(CacheEntry::Report(Box::new(CompileReport::decode(dec)?))),
+            TAG_SCOPE => Ok(CacheEntry::Scope(ModuleScope::decode(dec)?)),
             tag => Err(DecodeError::BadTag { tag, offset }),
         }
     }
@@ -192,6 +237,7 @@ impl Relocatable for CacheEntry {
             CacheEntry::Object(obj) => obj.to_bytes().len(),
             CacheEntry::Image(image) => image.approx_bytes(),
             CacheEntry::Report(report) => std::mem::size_of_val(report.as_ref()),
+            CacheEntry::Scope(scope) => std::mem::size_of_val(scope),
         }
     }
 }
@@ -414,6 +460,41 @@ impl BuildCache {
         if let Some(bytes) = self.store(format!("mod:{fp}"), &CacheEntry::Object(obj.clone())) {
             emit(tel, "store", "module", module, bytes);
         }
+    }
+
+    /// Probes the cache for a module's scope sidecar (keyed on the
+    /// source fingerprint alone — scope is profile-independent).
+    ///
+    /// Silent by design: sidecars are planning metadata, not cached
+    /// work, so they touch neither the hit/miss counters nor the
+    /// trace. A missing or damaged sidecar just means this build
+    /// cannot plan slices before compiling.
+    pub fn get_scope(&mut self, fp: &str) -> Option<ModuleScope> {
+        match self.fetch(&format!("scope:{fp}")) {
+            Fetched::Hit(entry, _) => match *entry {
+                CacheEntry::Scope(scope) => Some(scope),
+                _ => {
+                    self.manifest.remove(&format!("scope:{fp}"));
+                    None
+                }
+            },
+            Fetched::Missing | Fetched::Invalid => None,
+        }
+    }
+
+    /// Stores a module's scope sidecar under its source fingerprint.
+    pub fn put_scope(&mut self, fp: &str, scope: &ModuleScope) {
+        self.store(format!("scope:{fp}"), &CacheEntry::Scope(scope.clone()));
+    }
+
+    /// Records one planned profile slice in this build's counters.
+    pub fn record_profile_slice(&mut self, stale: bool) {
+        self.stats.record_profile_slice(stale);
+    }
+
+    /// Records one module-tier hit under a composed profile-slice key.
+    pub fn record_retained_hit(&mut self) {
+        self.stats.record_retained_hit();
     }
 
     /// Probes the cache for a whole build: the linked image plus the
@@ -815,10 +896,15 @@ pub fn object_fingerprint(module: &str, bytes: &[u8]) -> String {
 /// `jobs` and NAIM `shards` are deliberately *excluded*: the pipeline
 /// produces byte-identical output at every worker and shard count, so
 /// a cache populated at `-j4` must hit at `-j1`. The profile database
-/// participates through its full serialized content (its epoch), so
-/// re-profiling invalidates every profile-sensitive entry.
+/// participates through its full serialized content (its epoch);
+/// [`build_key_sliced`] swaps that monolithic tail for per-module
+/// slice fingerprints so retraining only re-keys moved slices.
 #[must_use]
 pub fn options_signature(options: &BuildOptions) -> String {
+    options_signature_impl(options, true)
+}
+
+fn options_signature_impl(options: &BuildOptions, include_db: bool) -> String {
     let mut enc = Encoder::with_capacity(256);
     enc.write_u32(CACHE_FORMAT);
     enc.write_str("opts");
@@ -881,7 +967,9 @@ pub fn options_signature(options: &BuildOptions) -> String {
     match &options.profile {
         Some(db) => {
             enc.write_bool(true);
-            enc.write_bytes(&db.to_bytes());
+            if include_db {
+                enc.write_bytes(&db.to_bytes());
+            }
         }
         None => enc.write_bool(false),
     }
@@ -901,6 +989,34 @@ pub fn build_key(module_fps: &[String], options: &BuildOptions) -> String {
         enc.write_str(fp);
     }
     enc.write_str(&options_signature(options));
+    ContentHash::of(&enc.into_bytes()).to_hex()
+}
+
+/// Key for a whole profile-guided build under slice keying: the
+/// ordered module fingerprints, the vector of per-module slice
+/// fingerprints, the residual slice fingerprint (database routines no
+/// module observes — they still steer the global selectivity ranking),
+/// and the options signature *without* the monolithic database tail.
+///
+/// With the whole database replaced by exactly what each module can
+/// observe, a retrain that moves one module's counts changes that
+/// module's slice — and therefore this key — while every other slice,
+/// and every module-tier composed key, stays put.
+#[must_use]
+pub fn build_key_sliced(module_fps: &[String], plan: &SlicePlan, options: &BuildOptions) -> String {
+    debug_assert_eq!(module_fps.len(), plan.slices.len());
+    let mut enc = Encoder::with_capacity(64 + module_fps.len() * 72);
+    enc.write_u32(CACHE_FORMAT);
+    enc.write_str("build-sliced");
+    enc.write_usize(module_fps.len());
+    for fp in module_fps {
+        enc.write_str(fp);
+    }
+    for slice in &plan.slices {
+        enc.write_str(&slice.fp);
+    }
+    enc.write_str(&plan.residual_fp);
+    enc.write_str(&options_signature_impl(options, false));
     ContentHash::of(&enc.into_bytes()).to_hex()
 }
 
@@ -1211,6 +1327,73 @@ mod tests {
         assert_eq!(reopened.record_count(), 1, "only the good copy survives");
         let back = reopened.get_module("m", &fp, &tel).expect("hit");
         assert_eq!(back.to_bytes(), obj.to_bytes());
+    }
+
+    #[test]
+    fn scope_sidecar_round_trips_and_stays_silent() {
+        let dir = tmpdir("scope-rt");
+        let obj = small_object();
+        let scope = ModuleScope::of_object(&obj);
+        {
+            let mut cache = BuildCache::open(&dir).expect("open");
+            assert!(cache.get_scope("fp").is_none());
+            cache.put_scope("fp", &scope);
+            cache.persist().expect("persist");
+        }
+        let mut cache = BuildCache::open(&dir).expect("reopen");
+        assert_eq!(cache.get_scope("fp").expect("sidecar"), scope);
+        // Sidecars are planning metadata: no hit/miss accounting.
+        let stats = cache.stats();
+        assert_eq!(stats.module_hits, 0);
+        assert_eq!(stats.module_misses, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sliced_build_key_ignores_out_of_scope_profile_motion() {
+        use crate::slices::{SliceGranularity, SlicePlan};
+        use cmo_profile::{ProbeKey, ProfileDb, RoutineShape};
+        let obj = small_object();
+        let scopes = vec![ModuleScope::of_object(&obj)];
+        let fps = vec![module_fingerprint("m", "fn main() -> int { return 7; }")];
+        let shape = scopes[0].routines[0].shape;
+        let mut db = ProfileDb::new();
+        db.record(
+            &[(ProbeKey::block("main", 0), 1)],
+            &[("main".to_owned(), shape)],
+        );
+        let mut options = BuildOptions::new(OptLevel::O4);
+        options.pbo = true;
+        options.profile = Some(db.clone());
+        let plan = |db: &ProfileDb| {
+            SlicePlan::compute(&scopes, db, SliceGranularity::Cluster, &options.inline)
+        };
+        let base = build_key_sliced(&fps, &plan(&db), &options);
+        // The same counts re-derived give the same key (slice bytes
+        // exclude the run counter and the database's storage order).
+        assert_eq!(base, build_key_sliced(&fps, &plan(&db), &options));
+        // A foreign routine (trained on another program version) lands
+        // in the residual slice: the key must move.
+        let mut foreign = db.clone();
+        foreign.record(
+            &[(ProbeKey::site("ghost", 0), 50)],
+            &[(
+                "ghost".to_owned(),
+                RoutineShape {
+                    n_blocks: 1,
+                    n_sites: 1,
+                    fingerprint: 9,
+                },
+            )],
+        );
+        assert_ne!(base, build_key_sliced(&fps, &plan(&foreign), &options));
+        // An in-scope count move re-keys too.
+        let mut moved = db.clone();
+        moved.record(
+            &[(ProbeKey::block("main", 0), 100)],
+            &[("main".to_owned(), shape)],
+        );
+        assert_ne!(base, build_key_sliced(&fps, &plan(&moved), &options));
     }
 
     use proptest::prelude::*;

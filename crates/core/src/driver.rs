@@ -4,6 +4,7 @@
 use crate::cache::{self, BuildCache, CacheStats};
 use crate::parallel::run_jobs;
 use crate::report::{CompileReport, FaultStats};
+use crate::slices::{ModuleScope, SliceGranularity, SlicePlan};
 use cmo_frontend::FrontendError;
 use cmo_hlo::{
     fold_globals, merge_outcomes, plan_clusters, run_cluster, run_clusters_seq, CallGraph,
@@ -143,6 +144,13 @@ pub struct BuildOptions {
     /// default) never compacts. Excluded from the options signature —
     /// when the GC policy changed, the outputs did not.
     pub gc_threshold_bytes: Option<u64>,
+    /// How wide each module's profile-slice scope reaches when a
+    /// profile database is attached (`cmocc
+    /// --profile-slice-granularity`). Excluded from the options
+    /// signature: granularity only decides *which* database projection
+    /// keys an entry, and identical slice fingerprints imply identical
+    /// observable counts regardless of how the scope was drawn.
+    pub slice_granularity: SliceGranularity,
     /// Telemetry sink threaded through the whole pipeline (loader,
     /// HLO, selection, final link). Disabled (no-op) by default;
     /// enable it to collect phase timers and trace events for the
@@ -165,6 +173,7 @@ impl BuildOptions {
             layered: false,
             jobs: 1,
             gc_threshold_bytes: None,
+            slice_granularity: SliceGranularity::default(),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -233,6 +242,13 @@ impl BuildOptions {
     #[must_use]
     pub fn with_gc_threshold_bytes(mut self, bytes: u64) -> Self {
         self.gc_threshold_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the profile-slice scope granularity.
+    #[must_use]
+    pub fn with_slice_granularity(mut self, granularity: SliceGranularity) -> Self {
+        self.slice_granularity = granularity;
         self
     }
 }
@@ -432,6 +448,108 @@ impl Compiler {
         Ok(hits)
     }
 
+    /// Like [`Compiler::add_sources_cached`], but profile-slice aware:
+    /// when `options` carries a profile database, module entries are
+    /// probed and stored under *composed* keys — the source
+    /// fingerprint plus the module's profile-slice fingerprint — so a
+    /// retrain re-keys only the modules whose observable counts moved.
+    /// A hit under a composed key is a **retained hit**
+    /// ([`CacheStats::profile_retained_hits`]).
+    ///
+    /// Slices are planned from [`ModuleScope`] sidecars stored next to
+    /// each object under the source fingerprint alone. When any
+    /// module's sidecar is missing (a cold cache, or a cache written
+    /// before slicing existed), no module-tier probes happen at all:
+    /// every module compiles, scopes are derived from the fresh
+    /// objects, and entries plus sidecars are stored for next time —
+    /// the all-or-nothing rule that keeps composed keys identical
+    /// between sidecar-planned and object-derived runs.
+    ///
+    /// Without a profile database this is exactly
+    /// [`Compiler::add_sources_cached`].
+    ///
+    /// # Errors
+    ///
+    /// Returns frontend diagnostics for the recompiled modules.
+    pub fn add_sources_cached_with(
+        &mut self,
+        modules: &[(String, String)],
+        options: &BuildOptions,
+        bcache: &mut BuildCache,
+    ) -> Result<usize, BuildError> {
+        let tel = &options.telemetry;
+        let Some(db) = options.profile.as_ref() else {
+            return self.add_sources_cached(modules, options.jobs, bcache, tel);
+        };
+        let fps: Vec<String> = modules
+            .iter()
+            .map(|(module, source)| cache::module_fingerprint(module, source))
+            .collect();
+        let sidecars: Option<Vec<ModuleScope>> =
+            fps.iter().map(|fp| bcache.get_scope(fp)).collect();
+        let hits = if let Some(scopes) = sidecars {
+            // Every sidecar present: plan slices up front and probe
+            // composed keys, all on the calling thread in input order.
+            let plan = SlicePlan::compute(&scopes, db, options.slice_granularity, &options.inline);
+            emit_slices(&plan, bcache, tel);
+            let mut slots: Vec<Option<IlObject>> = Vec::with_capacity(modules.len());
+            let mut misses: Vec<usize> = Vec::new();
+            for (i, (module, _)) in modules.iter().enumerate() {
+                let composed = plan.composed_fp(i, &fps[i]);
+                match bcache.get_module(module, &composed, tel) {
+                    Some(obj) => {
+                        bcache.record_retained_hit();
+                        slots.push(Some(obj));
+                    }
+                    None => {
+                        slots.push(None);
+                        misses.push(i);
+                    }
+                }
+            }
+            let hits = modules.len() - misses.len();
+            let compiled = run_jobs(misses.len(), options.jobs.max(1), |_, k| {
+                let (module, source) = &modules[misses[k]];
+                cmo_frontend::compile_module(module, source)
+            });
+            for (k, obj) in compiled.into_iter().enumerate() {
+                slots[misses[k]] = Some(obj?);
+            }
+            for (i, slot) in slots.into_iter().enumerate() {
+                let obj = slot.expect("every slot filled by hit or compile");
+                if misses.binary_search(&i).is_ok() {
+                    let composed = plan.composed_fp(i, &fps[i]);
+                    bcache.put_module(&modules[i].0, &composed, &obj, tel);
+                }
+                self.objects.push(obj);
+            }
+            hits
+        } else {
+            // At least one sidecar is missing: compile everything,
+            // derive scopes from the fresh objects, and seed both the
+            // composed entries and the sidecars.
+            let compiled = run_jobs(modules.len(), options.jobs.max(1), |_, i| {
+                cmo_frontend::compile_module(&modules[i].0, &modules[i].1)
+            });
+            let mut objects = Vec::with_capacity(modules.len());
+            for obj in compiled {
+                objects.push(obj?);
+            }
+            let scopes: Vec<ModuleScope> = objects.iter().map(ModuleScope::of_object).collect();
+            let plan = SlicePlan::compute(&scopes, db, options.slice_granularity, &options.inline);
+            emit_slices(&plan, bcache, tel);
+            for (i, obj) in objects.into_iter().enumerate() {
+                bcache.put_scope(&fps[i], &scopes[i]);
+                let composed = plan.composed_fp(i, &fps[i]);
+                bcache.put_module(&modules[i].0, &composed, &obj, tel);
+                self.objects.push(obj);
+            }
+            0
+        };
+        self.fingerprints.extend(fps);
+        Ok(hits)
+    }
+
     /// Adds a pre-compiled IL object (e.g. read back from disk, the
     /// `make` flow of §6.1).
     pub fn add_object(&mut self, obj: IlObject) {
@@ -482,6 +600,21 @@ impl Compiler {
     #[must_use]
     pub fn fingerprints(&self) -> &[String] {
         &self.fingerprints
+    }
+}
+
+/// Emits one `profile_slice` trace event per planned slice (in module
+/// input order, on the calling thread) and folds the slice counters
+/// into the cache stats.
+fn emit_slices(plan: &SlicePlan, bcache: &mut BuildCache, tel: &Telemetry) {
+    for slice in &plan.slices {
+        bcache.record_profile_slice(slice.stale);
+        tel.emit(TraceEvent::ProfileSlice {
+            module: slice.module.clone(),
+            routines: slice.routines,
+            stale: slice.stale,
+            fp: slice.fp.clone(),
+        });
     }
 }
 
@@ -896,7 +1029,19 @@ pub fn build_objects_cached(
         objects.len(),
         "one fingerprint per object"
     );
-    let key = cache::build_key(module_fps, options);
+    // With a profile attached, the build tier keys on the vector of
+    // per-module slice fingerprints (plus the residual) instead of the
+    // monolithic database bytes; scopes re-derived from the objects in
+    // hand are identical to the sidecar-planned ones, so the key is
+    // stable across cold and warm runs.
+    let key = match options.profile.as_ref() {
+        Some(db) => {
+            let scopes: Vec<ModuleScope> = objects.iter().map(ModuleScope::of_object).collect();
+            let plan = SlicePlan::compute(&scopes, db, options.slice_granularity, &options.inline);
+            cache::build_key_sliced(module_fps, &plan, options)
+        }
+        None => cache::build_key(module_fps, options),
+    };
     if let Some((image, stored)) = bcache.get_build(&key, &tel) {
         tel.emit(TraceEvent::Cache {
             action: "replay",
@@ -1082,6 +1227,116 @@ mod tests {
         let a = cc.build(&opts).unwrap();
         let b = cc.build(&opts).unwrap();
         assert_eq!(a.image.code, b.image.code, "same inputs, same image (§6.2)");
+    }
+
+    #[test]
+    fn retrain_keeps_untouched_module_slices_warm() {
+        use cmo_naim::{MemStorage, Storage};
+        use cmo_profile::ProbeKey;
+        use std::sync::Arc;
+        let modules: Vec<(String, String)> = vec![
+            (
+                "util".to_owned(),
+                "global factor: int = 3;
+                 fn scale(x: int) -> int { return x * factor; }"
+                    .to_owned(),
+            ),
+            (
+                "app".to_owned(),
+                "extern fn scale(x: int) -> int;
+                 extern fn island(x: int) -> int;
+                 fn main() -> int {
+                     var i: int = 0;
+                     var acc: int = 0;
+                     while (i < 200) {
+                         acc = acc + scale(i);
+                         i = i + 1;
+                     }
+                     acc = acc + island(3);
+                     return acc % 1000;
+                 }"
+                .to_owned(),
+            ),
+            (
+                // Large (il > small_callee_il) and cold (one call):
+                // couples with nobody, so its slice is its own.
+                "isl".to_owned(),
+                "fn island(x: int) -> int {
+                     var a: int = x;
+                     a = a + 1; a = a + 2; a = a + 3; a = a + 4;
+                     a = a + 5; a = a + 6; a = a + 7; a = a + 8;
+                     return a;
+                 }"
+                .to_owned(),
+            ),
+        ];
+        let mut cc = Compiler::new();
+        for (module, source) in &modules {
+            cc.add_source(module, source).unwrap();
+        }
+        let train = cc.build(&BuildOptions::instrumented()).unwrap();
+        let db1 = train.run_for_profile(&[]).unwrap();
+        // The retrain: only the island's internal counts move.
+        let island_shape = crate::slices::ModuleScope::of_object(&cc.objects[2])
+            .routines
+            .iter()
+            .find(|r| r.name == "island")
+            .expect("island defined")
+            .shape;
+        let mut db2 = db1.clone();
+        db2.record(
+            &[(ProbeKey::block("island", 0), 5_000)],
+            &[("island".to_owned(), island_shape)],
+        );
+
+        let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        let tel = Telemetry::disabled();
+        let opts = |db: &ProfileDb| BuildOptions::new(OptLevel::O4).with_profile_db(db.clone());
+
+        // Cold profiled build: everything compiles, slices are seeded.
+        let mut cache = BuildCache::open_on(Arc::clone(&storage), &tel).unwrap();
+        let mut cold_cc = Compiler::new();
+        let hits = cold_cc
+            .add_sources_cached_with(&modules, &opts(&db1), &mut cache)
+            .unwrap();
+        assert_eq!(hits, 0);
+        assert_eq!(cache.stats().profile_slices, 3);
+        assert_eq!(cache.stats().profile_stale_slices, 0);
+        cold_cc.build_cached(&opts(&db1), &mut cache).unwrap();
+
+        // Warm build under the retrained database: only the perturbed
+        // module re-keys; the other slices are retained hits.
+        let mut warm_cache = BuildCache::open_on(Arc::clone(&storage), &tel).unwrap();
+        let mut warm_cc = Compiler::new();
+        let hits = warm_cc
+            .add_sources_cached_with(&modules, &opts(&db2), &mut warm_cache)
+            .unwrap();
+        assert_eq!(hits, 2, "util and app slices survive the retrain");
+        assert_eq!(warm_cache.stats().profile_retained_hits, 2);
+        assert_eq!(warm_cache.stats().module_misses, 1);
+        let warm = warm_cc.build_cached(&opts(&db2), &mut warm_cache).unwrap();
+        assert!(
+            warm.report.replayed.is_none(),
+            "moved slice must re-key the build tier"
+        );
+
+        // Byte-identity bar: the retained-warm image equals a fresh
+        // cold build of the same inputs under the same database.
+        let fresh = cc.build(&opts(&db2)).unwrap();
+        assert_eq!(warm.image.code, fresh.image.code);
+
+        // Same retrain replayed at -j4: same hits, same bytes.
+        let mut j4_cache = BuildCache::open_on(Arc::clone(&storage), &tel).unwrap();
+        let mut j4_cc = Compiler::new();
+        let hits = j4_cc
+            .add_sources_cached_with(&modules, &opts(&db2).with_jobs(4), &mut j4_cache)
+            .unwrap();
+        assert_eq!(hits, 3, "second retrain build is fully warm");
+        let j4 = j4_cc
+            .build_cached(&opts(&db2).with_jobs(4), &mut j4_cache)
+            .unwrap();
+        assert!(j4.report.replayed.is_some(), "build tier replays");
+        assert_eq!(j4.image.code, fresh.image.code);
     }
 
     #[test]

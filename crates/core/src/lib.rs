@@ -55,10 +55,11 @@ mod isolate;
 mod parallel;
 mod project;
 mod report;
+mod slices;
 
 pub use cache::{
-    build_key, module_fingerprint, object_fingerprint, options_signature, BuildCache, CacheEntry,
-    CacheStats, GcStats, CACHE_FORMAT,
+    build_key, build_key_sliced, module_fingerprint, object_fingerprint, options_signature,
+    BuildCache, CacheEntry, CacheStats, GcStats, CACHE_FORMAT,
 };
 pub use driver::{
     build_objects, build_objects_cached, BuildError, BuildOptions, BuildOutput, BuildReport,
@@ -68,6 +69,7 @@ pub use isolate::{isolate_faulty_op, isolate_inline_ops, InlineIsolation, Isolat
 pub use parallel::{default_jobs, run_jobs, try_run_jobs, JobError};
 pub use project::Project;
 pub use report::{CompileReport, FaultStats};
+pub use slices::{ModuleScope, ModuleSlice, ScopeRoutine, SliceGranularity, SlicePlan};
 
 // Re-export the pieces a downstream user composes with.
 pub use cmo_frontend::compile_module;

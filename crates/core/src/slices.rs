@@ -1,0 +1,576 @@
+//! Per-module profile slices: project the profile database onto what
+//! each module can observe, so retraining re-keys only the modules
+//! whose observable counts actually moved.
+//!
+//! Before this module existed, every profile-sensitive cache entry was
+//! keyed on the *whole* database's serialized contents (its epoch): one
+//! `cmocc --run` retrain invalidated the entire warm tier. The GCC
+//! LTO/WHOPR lineage solves this with partition-local profile
+//! summaries; we do the same at module granularity (§6.2).
+//!
+//! A module's **scope** is the set of routine names whose profile data
+//! can influence compilation work derived from that module: its own
+//! defined routines plus, depending on
+//! [`SliceGranularity`], the cross-module inline/clone candidates its
+//! call sites couple with (mirroring the `may_couple` predicate the
+//! cluster partitioner uses). The scope is computed from structure the
+//! IL object already carries — routine names, IL sizes, and per-site
+//! callee names — and cached next to the object as a
+//! [`ModuleScope`] sidecar so warm builds can re-derive slices without
+//! running the front end.
+//!
+//! The **slice fingerprint** is
+//! [`ProfileDb::slice_fingerprint`] over the scope: a 128-bit content
+//! hash of the database's projection onto those names. Composed with
+//! the source fingerprint it keys the module tier; the vector of slice
+//! fingerprints (plus a residual slice covering database routines no
+//! module observes — they can still steer coarse selectivity) keys the
+//! whole-build tier.
+//!
+//! Scope precision is a *hit-rate* lever, never a correctness one: IL
+//! objects are profile-independent, and the build key covers the union
+//! of every slice plus the residual, so an over- or under-coupled
+//! scope can only cost recompilation, not wrong bytes.
+
+use cmo_hlo::InlineOptions;
+use cmo_ir::{CalleeRef, IlObject};
+use cmo_llo::shape_of;
+use cmo_naim::{DecodeError, Decoder, Encoder};
+use cmo_profile::{Freshness, ProfileDb, RoutineShape};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How wide a module's profile-slice scope reaches
+/// (`cmocc --profile-slice-granularity`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SliceGranularity {
+    /// Defined routines plus direct inline/clone candidates only —
+    /// tightest slices, may re-key a module whose cluster partner's
+    /// counts moved only after the build-tier miss recompiles it.
+    Module,
+    /// Defined routines plus the transitive closure of coupled call
+    /// edges (the cluster partitioner's `may_couple` predicate) — the
+    /// default: slices align with the clusters HLO actually forms.
+    #[default]
+    Cluster,
+    /// Every routine name in the program — one retrain re-keys
+    /// everything, reproducing the pre-slice whole-profile behaviour.
+    Whole,
+}
+
+impl SliceGranularity {
+    /// The `--profile-slice-granularity` spelling of this variant.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SliceGranularity::Module => "module",
+            SliceGranularity::Cluster => "cluster",
+            SliceGranularity::Whole => "whole",
+        }
+    }
+
+    /// Parses a `--profile-slice-granularity` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic listing the accepted spellings.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "module" => Ok(SliceGranularity::Module),
+            "cluster" => Ok(SliceGranularity::Cluster),
+            "whole" => Ok(SliceGranularity::Whole),
+            other => Err(format!(
+                "bad --profile-slice-granularity value: `{other}` (expected module, cluster, or whole)"
+            )),
+        }
+    }
+}
+
+/// One routine's scope-relevant structure: enough to mirror the
+/// cluster partitioner's coupling predicate and the §6.2 freshness
+/// check without the body in hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopeRoutine {
+    /// The routine's name (object-file linkage name).
+    pub name: String,
+    /// IL size in instructions (the inline/clone size heuristics).
+    pub il_size: u32,
+    /// Current structural shape, compared against the database's
+    /// recorded shape to detect stale slices.
+    pub shape: RoutineShape,
+    /// `(call-site id, callee name)` for every call whose callee is
+    /// still a by-name reference (pre-link objects carry only those).
+    pub callees: Vec<(u32, String)>,
+}
+
+/// The scope metadata of one module, derived from its IL object and
+/// stored in the cache as a `scope:{fingerprint}` sidecar so warm
+/// builds can plan slices before deciding what to recompile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleScope {
+    /// The module's name.
+    pub module: String,
+    /// Scope-relevant structure per defined routine, in object order.
+    pub routines: Vec<ScopeRoutine>,
+}
+
+impl ModuleScope {
+    /// Derives the scope metadata from an IL object.
+    #[must_use]
+    pub fn of_object(obj: &IlObject) -> ModuleScope {
+        let routines = obj
+            .routines
+            .iter()
+            .map(|def| {
+                let mut callees = Vec::new();
+                for block in &def.body.blocks {
+                    for instr in &block.instrs {
+                        if let cmo_ir::Instr::Call {
+                            callee: CalleeRef::Name(sym),
+                            site,
+                            ..
+                        } = instr
+                        {
+                            callees.push((site.0, obj.strings.resolve(*sym).to_owned()));
+                        }
+                    }
+                }
+                ScopeRoutine {
+                    name: obj.strings.resolve(def.name).to_owned(),
+                    il_size: u32::try_from(def.body.instr_count()).unwrap_or(u32::MAX),
+                    shape: shape_of(&def.body),
+                    callees,
+                }
+            })
+            .collect();
+        ModuleScope {
+            module: obj.module_name.clone(),
+            routines,
+        }
+    }
+
+    /// Serializes the scope for the cache sidecar.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.write_str(&self.module);
+        enc.write_usize(self.routines.len());
+        for r in &self.routines {
+            enc.write_str(&r.name);
+            enc.write_u32(r.il_size);
+            enc.write_u32(r.shape.n_blocks);
+            enc.write_u32(r.shape.n_sites);
+            enc.write_u64(r.shape.fingerprint);
+            enc.write_usize(r.callees.len());
+            for (site, callee) in &r.callees {
+                enc.write_u32(*site);
+                enc.write_str(callee);
+            }
+        }
+    }
+
+    /// Rebuilds a scope written by [`ModuleScope::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error for corrupt input.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let module = dec.read_str()?.to_owned();
+        let n = dec.read_usize()?;
+        let mut routines = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let name = dec.read_str()?.to_owned();
+            let il_size = dec.read_u32()?;
+            let shape = RoutineShape {
+                n_blocks: dec.read_u32()?,
+                n_sites: dec.read_u32()?,
+                fingerprint: dec.read_u64()?,
+            };
+            let nc = dec.read_usize()?;
+            let mut callees = Vec::with_capacity(nc.min(4096));
+            for _ in 0..nc {
+                let site = dec.read_u32()?;
+                callees.push((site, dec.read_str()?.to_owned()));
+            }
+            routines.push(ScopeRoutine {
+                name,
+                il_size,
+                shape,
+                callees,
+            });
+        }
+        Ok(ModuleScope { module, routines })
+    }
+}
+
+/// One module's planned slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleSlice {
+    /// The module's name (for trace events).
+    pub module: String,
+    /// Routine names in the slice's scope.
+    pub routines: u64,
+    /// Whether any in-scope routine's recorded shape no longer matches
+    /// the current code — the §6.2 [`Freshness::Stale`] signal. Stale
+    /// slices still key deterministically (the source fingerprint
+    /// covers the current code, the slice fingerprint the recorded
+    /// data), but they are surfaced in the report and trace because
+    /// their counts are used with reduced confidence.
+    pub stale: bool,
+    /// Hex slice fingerprint, composed into cache keys.
+    pub fp: String,
+}
+
+/// The per-build slice plan: one slice per module plus the residual.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlicePlan {
+    /// One slice per module, in module order.
+    pub slices: Vec<ModuleSlice>,
+    /// Hex fingerprint of the database's projection onto routines *no*
+    /// module observes. Such routines (from a profile trained on a
+    /// different program version) still steer coarse selectivity's
+    /// global site ranking, so the whole-build key must cover them.
+    pub residual_fp: String,
+}
+
+/// Union-find over scope-name indices, mirroring the cluster
+/// partitioner's merge structure (without its size cap — a superset
+/// component can only widen a scope, never corrupt it).
+struct NameSets {
+    parent: Vec<usize>,
+}
+
+impl NameSets {
+    fn new(n: usize) -> Self {
+        NameSets {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+}
+
+impl SlicePlan {
+    /// Plans the slices for one build: mirrors the cluster
+    /// partitioner's `may_couple` predicate over by-name call edges,
+    /// closes each module's scope accordingly, and fingerprints every
+    /// scope's database projection.
+    ///
+    /// `scopes` must be in module order (parallel to the objects /
+    /// fingerprints the caller keys with); the plan's slices come back
+    /// in the same order. The selectivity `targets` refinement is
+    /// deliberately ignored — it is itself profile-derived, and a
+    /// superset coupling only widens scopes.
+    #[must_use]
+    pub fn compute(
+        scopes: &[ModuleScope],
+        db: &ProfileDb,
+        granularity: SliceGranularity,
+        inline: &InlineOptions,
+    ) -> SlicePlan {
+        // Index every name we may talk about: defined routines first
+        // (they carry sizes), then any callee names left over.
+        let mut index: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut defined_il: BTreeMap<&str, u32> = BTreeMap::new();
+        for scope in scopes {
+            for r in &scope.routines {
+                let next = index.len();
+                index.entry(&r.name).or_insert(next);
+                defined_il.entry(&r.name).or_insert(r.il_size);
+            }
+        }
+        for scope in scopes {
+            for r in &scope.routines {
+                for (_, callee) in &r.callees {
+                    let next = index.len();
+                    index.entry(callee).or_insert(next);
+                }
+            }
+        }
+        // The cluster partitioner only considers cloning when profiles
+        // are present, with `min_callee_il` raised to the hot-inline
+        // bound; mirror that construction (slices exist only when a
+        // profile is attached).
+        let clone_min_count = cmo_hlo::CloneOptions::default().min_count;
+        let may_couple = |caller: &str, site: u32, callee_il: u32| {
+            let count = db.site_count(caller, site).unwrap_or(0);
+            let inline_couples = callee_il <= inline.small_callee_il
+                || (count >= inline.hot_site_min_count && callee_il <= inline.hot_callee_il);
+            let clone_couples = count >= clone_min_count && callee_il > inline.hot_callee_il;
+            inline_couples || clone_couples
+        };
+        // Coupled-name components (used by Cluster; Module keeps only
+        // the direct edges; Whole ignores the graph entirely).
+        let mut sets = NameSets::new(index.len());
+        if granularity == SliceGranularity::Cluster {
+            for scope in scopes {
+                for r in &scope.routines {
+                    for (site, callee) in &r.callees {
+                        let Some(&callee_il) = defined_il.get(callee.as_str()) else {
+                            continue; // extern with no body: nothing to inline
+                        };
+                        if may_couple(&r.name, *site, callee_il) {
+                            sets.union(index[r.name.as_str()], index[callee.as_str()]);
+                        }
+                    }
+                }
+            }
+        }
+        let mut members: BTreeMap<usize, Vec<&str>> = BTreeMap::new();
+        if granularity == SliceGranularity::Cluster {
+            for (&name, &i) in &index {
+                members.entry(sets.find(i)).or_default().push(name);
+            }
+        }
+        let all_names: BTreeSet<&str> = index.keys().copied().collect();
+
+        let mut union: BTreeSet<&str> = BTreeSet::new();
+        let mut slices = Vec::with_capacity(scopes.len());
+        for scope in scopes {
+            let mut names: BTreeSet<&str> = BTreeSet::new();
+            match granularity {
+                SliceGranularity::Whole => {
+                    names.extend(all_names.iter().copied());
+                }
+                SliceGranularity::Module => {
+                    for r in &scope.routines {
+                        names.insert(&r.name);
+                        for (site, callee) in &r.callees {
+                            if let Some(&callee_il) = defined_il.get(callee.as_str()) {
+                                if may_couple(&r.name, *site, callee_il) {
+                                    names.insert(callee);
+                                }
+                            }
+                        }
+                    }
+                }
+                SliceGranularity::Cluster => {
+                    for r in &scope.routines {
+                        names.extend(&members[&sets.find(index[r.name.as_str()])]);
+                    }
+                }
+            }
+            let stale = scope.routines.iter().any(|r| {
+                names.contains(r.name.as_str()) && db.lookup(&r.name, r.shape).0 == Freshness::Stale
+            });
+            union.extend(names.iter().copied());
+            slices.push(ModuleSlice {
+                module: scope.module.clone(),
+                routines: names.len() as u64,
+                stale,
+                fp: db.slice_fingerprint(names).to_hex(),
+            });
+        }
+        let residual: Vec<&str> = db
+            .iter()
+            .map(|(name, _)| name)
+            .filter(|name| !union.contains(name))
+            .collect();
+        SlicePlan {
+            slices,
+            residual_fp: db.slice_fingerprint(residual).to_hex(),
+        }
+    }
+
+    /// The composed module-tier fingerprint: source fingerprint plus
+    /// this module's slice fingerprint.
+    #[must_use]
+    pub fn composed_fp(&self, i: usize, source_fp: &str) -> String {
+        format!("{source_fp}+p{}", self.slices[i].fp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmo_profile::{ProbeKey, ProfileDb};
+
+    fn scopes_for(sources: &[(&str, &str)]) -> Vec<ModuleScope> {
+        sources
+            .iter()
+            .map(|(module, source)| {
+                ModuleScope::of_object(
+                    &cmo_frontend::compile_module(module, source).expect("compiles"),
+                )
+            })
+            .collect()
+    }
+
+    fn three_modules() -> Vec<ModuleScope> {
+        scopes_for(&[
+            ("util", "fn inc(x: int) -> int { return x + 1; }"),
+            (
+                "app",
+                r#"
+                extern fn inc(x: int) -> int;
+                fn main() -> int {
+                    var i: int = 0;
+                    while (i < 100) { i = inc(i); }
+                    return i;
+                }
+                "#,
+            ),
+            (
+                "leaf",
+                r#"
+                fn island(x: int) -> int {
+                    var a: int = x; a = a + 1; a = a + 2; a = a + 3;
+                    a = a + 4; a = a + 5; a = a + 6; a = a + 7;
+                    a = a + 8; a = a + 9; a = a + 10; a = a + 11;
+                    return a;
+                }
+                "#,
+            ),
+        ])
+    }
+
+    fn db_training(scopes: &[ModuleScope], extra_island: u64) -> ProfileDb {
+        let mut db = ProfileDb::new();
+        let shapes: Vec<(String, cmo_profile::RoutineShape)> = scopes
+            .iter()
+            .flat_map(|s| s.routines.iter().map(|r| (r.name.clone(), r.shape)))
+            .collect();
+        db.record(
+            &[
+                (ProbeKey::block("inc", 0), 100),
+                (ProbeKey::site("main", 0), 100),
+                (ProbeKey::block("island", 0), 7 + extra_island),
+            ],
+            &shapes,
+        );
+        db
+    }
+
+    #[test]
+    fn scope_derivation_matches_between_object_and_sidecar_codec() {
+        for scope in three_modules() {
+            let mut enc = Encoder::new();
+            scope.encode(&mut enc);
+            let bytes = enc.into_bytes();
+            let back = ModuleScope::decode(&mut Decoder::new(&bytes)).expect("decodes");
+            assert_eq!(back, scope);
+        }
+    }
+
+    #[test]
+    fn cluster_scope_couples_hot_cross_module_edges() {
+        let scopes = three_modules();
+        let db = db_training(&scopes, 0);
+        let plan = SlicePlan::compute(
+            &scopes,
+            &db,
+            SliceGranularity::Cluster,
+            &InlineOptions::default(),
+        );
+        // `inc` is tiny: app couples with util, so both observe inc's
+        // counts; the island module observes only itself.
+        assert!(plan.slices[1].routines >= 2, "app sees inc");
+        assert_eq!(plan.slices[2].routines, 1, "island is alone");
+        // Perturbing island's counts moves only island's slice.
+        let db2 = db_training(&scopes, 1000);
+        let plan2 = SlicePlan::compute(
+            &scopes,
+            &db2,
+            SliceGranularity::Cluster,
+            &InlineOptions::default(),
+        );
+        assert_eq!(plan.slices[0].fp, plan2.slices[0].fp);
+        assert_eq!(plan.slices[1].fp, plan2.slices[1].fp);
+        assert_ne!(plan.slices[2].fp, plan2.slices[2].fp);
+        assert_eq!(plan.residual_fp, plan2.residual_fp);
+    }
+
+    #[test]
+    fn whole_granularity_moves_every_slice_together() {
+        let scopes = three_modules();
+        let a = db_training(&scopes, 0);
+        let b = db_training(&scopes, 1000);
+        let pa = SlicePlan::compute(
+            &scopes,
+            &a,
+            SliceGranularity::Whole,
+            &InlineOptions::default(),
+        );
+        let pb = SlicePlan::compute(
+            &scopes,
+            &b,
+            SliceGranularity::Whole,
+            &InlineOptions::default(),
+        );
+        for (sa, sb) in pa.slices.iter().zip(&pb.slices) {
+            assert_ne!(sa.fp, sb.fp, "whole granularity re-keys everything");
+        }
+    }
+
+    #[test]
+    fn residual_covers_database_routines_no_module_observes() {
+        let scopes = three_modules();
+        let mut db = db_training(&scopes, 0);
+        let plan = SlicePlan::compute(
+            &scopes,
+            &db,
+            SliceGranularity::Cluster,
+            &InlineOptions::default(),
+        );
+        // A routine from another program version: observable only
+        // through the global selectivity ranking, so it must land in
+        // the residual.
+        db.record(
+            &[(ProbeKey::site("ghost", 0), 9_999)],
+            &[(
+                "ghost".to_owned(),
+                cmo_profile::RoutineShape {
+                    n_blocks: 1,
+                    n_sites: 1,
+                    fingerprint: 42,
+                },
+            )],
+        );
+        let plan2 = SlicePlan::compute(
+            &scopes,
+            &db,
+            SliceGranularity::Cluster,
+            &InlineOptions::default(),
+        );
+        for (a, b) in plan.slices.iter().zip(&plan2.slices) {
+            assert_eq!(a.fp, b.fp, "no module slice observes ghost");
+        }
+        assert_ne!(plan.residual_fp, plan2.residual_fp);
+    }
+
+    #[test]
+    fn stale_shape_marks_the_slice() {
+        let scopes = three_modules();
+        let mut db = ProfileDb::new();
+        // Train island under a *different* shape than the current code.
+        db.record(
+            &[(ProbeKey::block("island", 0), 7)],
+            &[(
+                "island".to_owned(),
+                cmo_profile::RoutineShape {
+                    n_blocks: 99,
+                    n_sites: 0,
+                    fingerprint: 1,
+                },
+            )],
+        );
+        let plan = SlicePlan::compute(
+            &scopes,
+            &db,
+            SliceGranularity::Cluster,
+            &InlineOptions::default(),
+        );
+        assert!(plan.slices[2].stale, "shape mismatch ⇒ stale slice");
+        assert!(!plan.slices[0].stale);
+    }
+}

@@ -86,7 +86,7 @@ pub use mmap::MapView;
 pub use pid::Pid;
 pub use remote::{
     read_frame_bytes, CacheService, FlakyTransport, Frame, FrameOp, LoopbackTransport, RemoteStats,
-    RemoteStorage, RemoteTransport, RetryPolicy, TcpTransport, WireFault,
+    RemoteStorage, RemoteTransport, RetryPolicy, ServiceStats, TcpTransport, WireFault,
 };
 pub use repository::{
     crc32, ContentHash, MemBackend, RepoBackend, RepoHandle, RepoRecovery, RepoStats, Repository,

@@ -32,6 +32,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use cmo_telemetry::{Telemetry, TraceEvent};
@@ -57,14 +58,19 @@ pub enum FrameOp {
     Get,
     /// Request: bind a name to the carried blob.
     Put,
-    /// Request: unbind a name (the blob itself is immortal).
+    /// Request: unbind a name; a blob no name references any more is
+    /// reclaimed from the store.
     Del,
+    /// Request: report the daemon's service counters.
+    Stats,
     /// Response: here is the blob (hash + body carried).
     Hit,
     /// Response: no blob is bound to that name.
     Miss,
     /// Response: the request was applied.
     Ok,
+    /// Response: the service counters (body holds the text line).
+    StatsReply,
     /// Response: the daemon failed internally (body holds the message).
     Err,
 }
@@ -75,9 +81,11 @@ impl FrameOp {
             FrameOp::Get => 1,
             FrameOp::Put => 2,
             FrameOp::Del => 3,
+            FrameOp::Stats => 4,
             FrameOp::Hit => 0x81,
             FrameOp::Miss => 0x82,
             FrameOp::Ok => 0x83,
+            FrameOp::StatsReply => 0x84,
             FrameOp::Err => 0x7f,
         }
     }
@@ -87,9 +95,11 @@ impl FrameOp {
             1 => FrameOp::Get,
             2 => FrameOp::Put,
             3 => FrameOp::Del,
+            4 => FrameOp::Stats,
             0x81 => FrameOp::Hit,
             0x82 => FrameOp::Miss,
             0x83 => FrameOp::Ok,
+            0x84 => FrameOp::StatsReply,
             0x7f => FrameOp::Err,
             _ => return None,
         })
@@ -237,14 +247,41 @@ pub fn read_frame_bytes(r: &mut impl Read) -> io::Result<Vec<u8>> {
     Ok(out)
 }
 
+/// Daemon service counters, answered by the [`FrameOp::Stats`] op and
+/// printed by `cmocached --stats` on exit. Blob and byte totals track
+/// the store's *current* contents; the traffic counters accumulate
+/// since process start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Distinct content blobs currently stored.
+    pub blobs: u64,
+    /// Total payload bytes across those blobs.
+    pub bytes: u64,
+    /// GET requests served since start.
+    pub gets: u64,
+    /// GETs answered with a blob.
+    pub hits: u64,
+    /// PUT requests acknowledged since start.
+    pub puts: u64,
+}
+
 /// The daemon half of the blob protocol, serving frames from any
 /// [`Storage`]. Blobs live under their content hash (`obj-<32 hex>`),
 /// deduplicated across names; `names.tsv` persists the name→hash
-/// index so a restarted daemon keeps its warmth.
+/// index so a restarted daemon keeps its warmth. A rebinding PUT or a
+/// DEL reclaims the blob it orphans — without that, every pushed
+/// generation of a repository would live in the store forever. The
+/// [`ServiceStats`] counters are plain atomics, safe to read from a
+/// signal handler.
 #[derive(Debug)]
 pub struct CacheService {
     storage: Arc<dyn Storage>,
     names: Mutex<BTreeMap<String, ContentHash>>,
+    blobs: AtomicU64,
+    blob_bytes: AtomicU64,
+    gets: AtomicU64,
+    hits: AtomicU64,
+    puts: AtomicU64,
 }
 
 /// Name of the persisted name→hash index inside the daemon's storage.
@@ -267,14 +304,68 @@ impl CacheService {
                 }
             }
         }
-        CacheService {
+        let service = CacheService {
             storage,
             names: Mutex::new(names),
+            blobs: AtomicU64::new(0),
+            blob_bytes: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+        };
+        // Seed the store totals from the loaded index: one entry per
+        // distinct referenced hash, sized from the blob on disk.
+        let names = lock(&service.names);
+        let distinct: std::collections::BTreeSet<[u64; 2]> = names.values().map(|h| h.0).collect();
+        for raw in distinct {
+            let blob = Self::blob_name(ContentHash(raw));
+            if let Ok(size) = service.storage.size(&blob) {
+                service.blobs.fetch_add(1, Ordering::Relaxed);
+                service.blob_bytes.fetch_add(size, Ordering::Relaxed);
+            }
+        }
+        drop(names);
+        service
+    }
+
+    /// The service counters. Reads only atomics — no locks, no
+    /// allocation — so it is safe from a signal handler.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            blobs: self.blobs.load(Ordering::Relaxed),
+            bytes: self.blob_bytes.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
         }
     }
 
     fn blob_name(hash: ContentHash) -> String {
         format!("obj-{}", hash.to_hex())
+    }
+
+    /// Removes the blob file for `hash` when no name references it any
+    /// more, keeping the blob and byte totals true. Saturating updates:
+    /// a blob resized behind the daemon's back must not wrap a counter.
+    fn reclaim_if_orphaned(&self, names: &BTreeMap<String, ContentHash>, hash: ContentHash) {
+        if names.values().any(|h| *h == hash) {
+            return;
+        }
+        let blob = Self::blob_name(hash);
+        let size = self.storage.size(&blob).unwrap_or(0);
+        if self.storage.remove(&blob).is_ok() {
+            let _ = self
+                .blobs
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                    Some(b.saturating_sub(1))
+                });
+            let _ = self
+                .blob_bytes
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                    Some(b.saturating_sub(size))
+                });
+        }
     }
 
     fn persist_names(&self, names: &BTreeMap<String, ContentHash>) -> io::Result<()> {
@@ -303,6 +394,7 @@ impl CacheService {
     fn dispatch(&self, req: &Frame) -> Frame {
         match req.op {
             FrameOp::Get => {
+                self.gets.fetch_add(1, Ordering::Relaxed);
                 // Copy the hash out before matching: a scrutinee guard
                 // would still be held when the corrupt arm re-locks.
                 let hit = lock(&self.names).get(&req.name).copied();
@@ -310,12 +402,15 @@ impl CacheService {
                     None => Frame::new(FrameOp::Miss, &req.name, Vec::new()),
                     Some(hash) => match self.storage.read(&Self::blob_name(hash)) {
                         Ok(body) if ContentHash::of(&body) == hash || body.is_empty() => {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
                             Frame::new(FrameOp::Hit, &req.name, body)
                         }
                         // A corrupt or missing blob self-heals into a miss:
                         // the client recompiles and re-puts a good copy.
                         _ => {
-                            lock(&self.names).remove(&req.name);
+                            let mut names = lock(&self.names);
+                            names.remove(&req.name);
+                            self.reclaim_if_orphaned(&names, hash);
                             Frame::new(FrameOp::Miss, &req.name, Vec::new())
                         }
                     },
@@ -334,9 +429,25 @@ impl CacheService {
                 match stored {
                     Ok(()) => {
                         let mut names = lock(&self.names);
-                        names.insert(req.name.clone(), hash);
+                        let newly_referenced = !names.values().any(|h| *h == hash);
+                        let old = names.insert(req.name.clone(), hash);
                         match self.persist_names(&names) {
-                            Ok(()) => Frame::new(FrameOp::Ok, &req.name, Vec::new()),
+                            Ok(()) => {
+                                self.puts.fetch_add(1, Ordering::Relaxed);
+                                if newly_referenced {
+                                    self.blobs.fetch_add(1, Ordering::Relaxed);
+                                    self.blob_bytes.fetch_add(
+                                        self.storage.size(&blob).unwrap_or(0),
+                                        Ordering::Relaxed,
+                                    );
+                                }
+                                // A rebind orphans the previous blob
+                                // unless another name still holds it.
+                                if let Some(old) = old.filter(|o| *o != hash) {
+                                    self.reclaim_if_orphaned(&names, old);
+                                }
+                                Frame::new(FrameOp::Ok, &req.name, Vec::new())
+                            }
                             Err(e) => {
                                 Frame::new(FrameOp::Err, &req.name, e.to_string().into_bytes())
                             }
@@ -347,13 +458,24 @@ impl CacheService {
             }
             FrameOp::Del => {
                 let mut names = lock(&self.names);
-                if names.remove(&req.name).is_none() {
+                let Some(hash) = names.remove(&req.name) else {
                     return Frame::new(FrameOp::Miss, &req.name, Vec::new());
-                }
+                };
                 match self.persist_names(&names) {
-                    Ok(()) => Frame::new(FrameOp::Ok, &req.name, Vec::new()),
+                    Ok(()) => {
+                        self.reclaim_if_orphaned(&names, hash);
+                        Frame::new(FrameOp::Ok, &req.name, Vec::new())
+                    }
                     Err(e) => Frame::new(FrameOp::Err, &req.name, e.to_string().into_bytes()),
                 }
+            }
+            FrameOp::Stats => {
+                let s = self.stats();
+                let line = format!(
+                    "blobs={} bytes={} gets={} hits={} puts={}",
+                    s.blobs, s.bytes, s.gets, s.hits, s.puts
+                );
+                Frame::new(FrameOp::StatsReply, &req.name, line.into_bytes())
             }
             // A response op arriving as a request is a client bug.
             _ => Frame::new(FrameOp::Err, &req.name, b"not a request op".to_vec()),
@@ -1076,6 +1198,61 @@ mod tests {
             Frame::decode(&service.handle(&get)).unwrap().op,
             FrameOp::Miss
         );
+    }
+
+    #[test]
+    fn rebind_and_del_reclaim_orphaned_blobs() {
+        let store: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        let service = CacheService::new(Arc::clone(&store));
+        let blob_of = |body: &[u8]| CacheService::blob_name(ContentHash::of(body));
+        let _ = service.handle(&Frame::new(FrameOp::Put, "a", b"v1".to_vec()).encode());
+        assert!(store.exists(&blob_of(b"v1")));
+        // Rebinding `a` orphans v1: the blob goes with it.
+        let _ = service.handle(&Frame::new(FrameOp::Put, "a", b"v2".to_vec()).encode());
+        assert!(!store.exists(&blob_of(b"v1")), "orphaned blob must go");
+        assert!(store.exists(&blob_of(b"v2")));
+        // A second name on the same content protects the blob from
+        // either name's deletion — until the last reference drops.
+        let _ = service.handle(&Frame::new(FrameOp::Put, "b", b"v2".to_vec()).encode());
+        let del_a = Frame::new(FrameOp::Del, "a", Vec::new()).encode();
+        assert_eq!(
+            Frame::decode(&service.handle(&del_a)).unwrap().op,
+            FrameOp::Ok
+        );
+        assert!(store.exists(&blob_of(b"v2")), "still referenced by `b`");
+        let del_b = Frame::new(FrameOp::Del, "b", Vec::new()).encode();
+        assert_eq!(
+            Frame::decode(&service.handle(&del_b)).unwrap().op,
+            FrameOp::Ok
+        );
+        assert!(!store.exists(&blob_of(b"v2")), "last reference dropped");
+        let stats = service.stats();
+        assert_eq!((stats.blobs, stats.bytes), (0, 0));
+    }
+
+    #[test]
+    fn stats_op_reports_store_totals_and_traffic() {
+        let store: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        let service = CacheService::new(Arc::clone(&store));
+        let _ = service.handle(&Frame::new(FrameOp::Put, "a", b"alpha".to_vec()).encode());
+        let _ = service.handle(&Frame::new(FrameOp::Put, "b", b"beta!!".to_vec()).encode());
+        let get = |name: &str| Frame::new(FrameOp::Get, name, Vec::new()).encode();
+        let _ = service.handle(&get("a"));
+        let _ = service.handle(&get("nope"));
+        let reply =
+            Frame::decode(&service.handle(&Frame::new(FrameOp::Stats, "", Vec::new()).encode()))
+                .unwrap();
+        assert_eq!(reply.op, FrameOp::StatsReply);
+        assert_eq!(
+            String::from_utf8(reply.body).unwrap(),
+            "blobs=2 bytes=11 gets=2 hits=1 puts=2"
+        );
+        // A restarted daemon re-derives the store totals from the
+        // persisted index; traffic counters restart at zero.
+        let reborn = CacheService::new(Arc::clone(&store));
+        let stats = reborn.stats();
+        assert_eq!((stats.blobs, stats.bytes), (2, 11));
+        assert_eq!((stats.gets, stats.hits, stats.puts), (0, 0, 0));
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   generations travel. A failed push is swallowed (the remote tier
 //!   records the failure and may trip its breaker); the build result
 //!   never depends on it.
+//! * **Invalidation.** A shareable name removed locally — cache
+//!   invalidation dropping a stale record — is best-effort `DEL`ed
+//!   remotely after the local remove succeeded, so the daemon stops
+//!   serving (and reclaims) blobs the builds have invalidated. No GET
+//!   is ever issued for it: the local removal settles the name.
 //!
 //! An outage therefore cannot fail a build or corrupt the local cache:
 //! the worst case is a build exactly as warm as local state allows,
@@ -170,7 +175,14 @@ impl Storage for TieredStorage {
 
     fn remove(&self, name: &str) -> io::Result<()> {
         self.settle(name);
-        self.local.remove(name)
+        self.local.remove(name)?;
+        // The record is invalid here; unbind it on the daemon too so
+        // the shared tier stops serving it and can reclaim the blob.
+        // Best-effort like every push: an outage never fails a build.
+        if shareable(name) {
+            let _ = self.remote.remove(name);
+        }
+        Ok(())
     }
 
     fn map(&self, name: &str) -> io::Result<Option<MapView>> {
@@ -265,6 +277,32 @@ mod tests {
         tier.remove("f").unwrap();
         assert!(!tier.exists("f"));
         assert_eq!(tier.stats().gets, 0, "no probe may have happened");
+    }
+
+    #[test]
+    fn remove_unbinds_the_remote_name_without_probing() {
+        let daemon = Arc::new(MemStorage::new());
+        let warm = remote_over(&daemon);
+        warm.write("repo.naim", b"stale everywhere").unwrap();
+        let local = Arc::new(MemStorage::new());
+        local.write("repo.naim", b"stale everywhere").unwrap();
+        let tier = TieredStorage::new(Arc::clone(&local) as Arc<dyn Storage>, remote_over(&daemon));
+        tier.remove("repo.naim").unwrap();
+        assert_eq!(tier.stats().gets, 0, "invalidation must not probe");
+        // The daemon no longer serves the invalidated name to anyone.
+        let fresh = TieredStorage::new(
+            Arc::new(MemStorage::new()) as Arc<dyn Storage>,
+            remote_over(&daemon),
+        );
+        assert!(!fresh.exists("repo.naim"));
+        // Scratch names never generate remote traffic, even on remove.
+        let tier2 = TieredStorage::new(
+            Arc::new(MemStorage::new()) as Arc<dyn Storage>,
+            remote_over(&daemon),
+        );
+        tier2.write("x.tmp", b"scratch").unwrap();
+        tier2.remove("x.tmp").unwrap();
+        assert_eq!(tier2.stats().gets + tier2.stats().puts, 0);
     }
 
     #[test]

@@ -27,8 +27,8 @@
 //! assert_eq!(db.site_count("hot", 0), Some(900));
 //! ```
 
-use cmo_naim::{DecodeError, Decoder, Encoder};
-use std::collections::BTreeMap;
+use cmo_naim::{ContentHash, DecodeError, Decoder, Encoder};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// What a probe counts.
@@ -367,6 +367,66 @@ impl ProfileDb {
     pub fn iter(&self) -> impl Iterator<Item = (&str, &RoutineProfile)> {
         self.routines.iter().map(|(k, v)| (k.as_str(), v))
     }
+
+    /// Canonical byte encoding of the database's projection onto
+    /// `scope` — the *profile slice* a module (and its cross-module
+    /// inline/clone candidates) can observe.
+    ///
+    /// The encoding is a pure function of the stored data inside the
+    /// scope, and nothing else:
+    ///
+    /// * scope names are deduplicated and sorted, so the slice is
+    ///   insensitive to the order (or repetition) the caller lists
+    ///   routines in;
+    /// * only routines *present* in the database are encoded — a scope
+    ///   name with no data contributes nothing, so training a brand-new
+    ///   routine changes only slices that can see it;
+    /// * a present routine contributes its recorded shape and its full
+    ///   block/site count vectors, so a counts-all-zero routine is
+    ///   distinct from an absent one (zero counts are real data: "this
+    ///   ran zero times");
+    /// * the run counter is deliberately excluded — a retrain that
+    ///   reproduces identical counts must produce identical slices.
+    #[must_use]
+    pub fn slice_bytes<'a, I>(&self, scope: I) -> Vec<u8>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let names: BTreeSet<&str> = scope.into_iter().collect();
+        let present: Vec<(&&str, &RoutineProfile)> = names
+            .iter()
+            .filter_map(|name| self.routines.get(*name).map(|p| (name, p)))
+            .collect();
+        let mut enc = Encoder::with_capacity(64 + present.len() * 48);
+        enc.write_str("cmo-pslice");
+        enc.write_usize(present.len());
+        for (name, p) in present {
+            enc.write_str(name);
+            enc.write_u32(p.shape.n_blocks);
+            enc.write_u32(p.shape.n_sites);
+            enc.write_u64(p.shape.fingerprint);
+            enc.write_usize(p.blocks.len());
+            for &c in &p.blocks {
+                enc.write_u64(c);
+            }
+            enc.write_usize(p.sites.len());
+            for &c in &p.sites {
+                enc.write_u64(c);
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// 128-bit content fingerprint of the profile slice for `scope` —
+    /// the same hash family the cache repository uses, so slice
+    /// fingerprints compose directly into cache keys.
+    #[must_use]
+    pub fn slice_fingerprint<'a, I>(&self, scope: I) -> ContentHash
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        ContentHash::of(&self.slice_bytes(scope))
+    }
 }
 
 #[cfg(test)]
@@ -494,5 +554,119 @@ mod tests {
     fn probe_key_display() {
         assert_eq!(ProbeKey::block("f", 2).to_string(), "f#bb2");
         assert_eq!(ProbeKey::site("g", 0).to_string(), "g#cs0");
+    }
+
+    #[test]
+    fn empty_database_slices_are_stable_and_all_lookups_miss() {
+        let db = ProfileDb::new();
+        assert_eq!(db.lookup("f", shape(2, 1)).0, Freshness::Missing);
+        // Every scope projects to the same (empty) slice.
+        assert_eq!(
+            db.slice_fingerprint(["f", "g"]),
+            db.slice_fingerprint(std::iter::empty::<&str>()),
+        );
+        // ... and that slice is distinct from one with data in scope.
+        let mut trained = ProfileDb::new();
+        one_run(&mut trained);
+        assert_ne!(
+            db.slice_fingerprint(["f"]),
+            trained.slice_fingerprint(["f"])
+        );
+    }
+
+    #[test]
+    fn routine_added_after_training_changes_only_slices_that_see_it() {
+        let mut db = ProfileDb::new();
+        one_run(&mut db);
+        let before_f = db.slice_fingerprint(["f"]);
+        let before_fh = db.slice_fingerprint(["f", "h"]);
+        // A later run trains a routine the first run never saw. Before
+        // that run, `h` is Missing; its arrival must not disturb slices
+        // that cannot observe it.
+        assert_eq!(db.lookup("h", shape(1, 0)).0, Freshness::Missing);
+        db.record(
+            &[(ProbeKey::block("h", 0), 9)],
+            &[("h".to_owned(), shape(1, 0))],
+        );
+        assert_eq!(db.lookup("h", shape(1, 0)).0, Freshness::Fresh);
+        assert_eq!(
+            db.slice_fingerprint(["f"]),
+            before_f,
+            "f's slice is blind to h"
+        );
+        assert_ne!(
+            db.slice_fingerprint(["f", "h"]),
+            before_fh,
+            "a scope seeing h moves"
+        );
+    }
+
+    #[test]
+    fn counts_all_zero_slice_differs_from_absent() {
+        let mut zeroed = ProfileDb::new();
+        // A routine instrumented but never executed: shape recorded,
+        // every counter zero. That is information ("cold"), not absence.
+        zeroed.record(&[], &[("f".to_owned(), shape(2, 1))]);
+        assert_eq!(zeroed.block_count("f", 0), Some(0));
+        assert_eq!(zeroed.lookup("f", shape(2, 1)).0, Freshness::Fresh);
+        let absent = ProfileDb::new();
+        assert_ne!(
+            zeroed.slice_fingerprint(["f"]),
+            absent.slice_fingerprint(["f"]),
+            "all-zero counts must not collide with no data at all"
+        );
+    }
+
+    #[test]
+    fn slice_fingerprint_is_stable_under_routine_reordering() {
+        let mut db = ProfileDb::new();
+        one_run(&mut db);
+        db.record(
+            &[(ProbeKey::block("h", 0), 4)],
+            &[("h".to_owned(), shape(1, 0))],
+        );
+        let a = db.slice_fingerprint(["f", "g", "h"]);
+        let b = db.slice_fingerprint(["h", "f", "g"]);
+        let c = db.slice_fingerprint(["g", "h", "f", "f", "g"]);
+        assert_eq!(a, b, "scope order must not matter");
+        assert_eq!(a, c, "duplicate scope names must not matter");
+    }
+
+    #[test]
+    fn slice_excludes_run_counter_and_out_of_scope_counts() {
+        let mut a = ProfileDb::new();
+        one_run(&mut a);
+        let mut b = ProfileDb::new();
+        one_run(&mut b);
+        // Extra training that only touches g: f's slice is unmoved even
+        // though the database (and its run counter) changed.
+        b.record(
+            &[(ProbeKey::block("g", 0), 55)],
+            &[("g".to_owned(), shape(1, 0))],
+        );
+        assert_ne!(a.runs(), b.runs());
+        assert_ne!(a.to_bytes(), b.to_bytes());
+        assert_eq!(a.slice_fingerprint(["f"]), b.slice_fingerprint(["f"]));
+        assert_ne!(a.slice_fingerprint(["g"]), b.slice_fingerprint(["g"]));
+    }
+
+    #[test]
+    fn shape_change_in_database_always_moves_the_slice() {
+        let mut a = ProfileDb::new();
+        one_run(&mut a);
+        let before = a.slice_fingerprint(["f"]);
+        // Retrain against changed code: record() resets the counts at
+        // the new shape, and the slice must move even if the raw count
+        // values happen to coincide.
+        a.record(
+            &[
+                (ProbeKey::block("f", 0), 10),
+                (ProbeKey::block("f", 1), 7),
+                (ProbeKey::site("f", 0), 7),
+            ],
+            &[("f".to_owned(), shape(3, 1))],
+        );
+        assert_eq!(a.lookup("f", shape(2, 1)).0, Freshness::Stale);
+        assert_ne!(a.slice_fingerprint(["f"]), before);
     }
 }
